@@ -1,0 +1,90 @@
+"""Section 5.4.1 — the autonomous object-tracking drone case study."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.apps.base import Workload, execute_app
+from repro.apps.drone import DEFAULT_SPEED, DroneApp, SPEED_TAG
+from repro.attacks.scenarios import run_attack
+from repro.bench.tables import render_table
+
+WORKLOAD = Workload(items=4, image_size=16)
+
+
+@pytest.fixture(scope="module")
+def results():
+    table = {}
+    for label, cve_id in (("DoS (crash imread)", "CVE-2017-14136"),
+                          ("corrupt self.speed", "CVE-2017-12606")):
+        table[label] = {
+            technique: run_attack(cve_id, technique=technique, app=DroneApp(),
+                                  target_tag=SPEED_TAG, workload=WORKLOAD)
+            for technique in ("none", "freepart")
+        }
+    return table
+
+
+def test_case_drone(benchmark, results):
+    benchmark.pedantic(
+        run_attack,
+        args=("CVE-2017-14136",),
+        kwargs={"technique": "freepart", "app": DroneApp(),
+                "target_tag": SPEED_TAG, "workload": WORKLOAD},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for label, by_technique in results.items():
+        unprotected = by_technique["none"]
+        protected = by_technique["freepart"]
+        rows.append([
+            label,
+            "drone down" if unprotected.host_crashed else
+            ("speed flipped" if unprotected.data_corrupted else "?"),
+            "still flying" if not protected.host_crashed else "DOWN",
+            protected.agent_crashes,
+        ])
+    emit(render_table(
+        "Section 5.4.1 — drone case study",
+        ["attack", "unprotected", "FreePart", "agent crashes"],
+        rows,
+        note="paper: the DoS only crashes the data-loading agent (drone "
+             "keeps flying, agent restarts); the speed variable lives in "
+             "the target program process and stays 0.3",
+    ))
+    dos = results["DoS (crash imread)"]
+    assert dos["none"].host_crashed
+    assert not dos["freepart"].host_crashed
+    assert dos["freepart"].agent_crashes == 1
+    corrupt = results["corrupt self.speed"]
+    assert corrupt["none"].data_corrupted
+    assert not corrupt["freepart"].data_corrupted
+
+
+def test_case_drone_keeps_operating_through_poisoned_frames(benchmark):
+    """With restart enabled the drone skips the poisoned frame and keeps
+    tracking (the paper: 'a little sluggish' but alive)."""
+    from repro.apps.drone import drone_followed_object
+    from repro.apps.suite import used_api_objects
+    from repro.attacks.exploits import DosExploit
+    from repro.attacks.payloads import CraftedInput, benign_image
+    from repro.core.runtime import FreePart
+    from repro.sim.kernel import SimKernel
+
+    def fly_through_attack():
+        app = DroneApp()
+        kernel = SimKernel()
+        gateway = FreePart(kernel=kernel).deploy(
+            used_apis=used_api_objects(app)
+        )
+        app.setup(kernel, Workload(items=6))
+        # Poison the third frame.
+        crafted = CraftedInput("CVE-2017-14136", DosExploit(), benign_image())
+        kernel.fs.write_file(app.frame_path(2), crafted)
+        return execute_app(app, gateway, Workload(items=6), setup=False)
+
+    report = benchmark.pedantic(fly_through_attack, rounds=1, iterations=1)
+    assert not report.failed
+    assert report.result.crashes_survived == 1
+    assert report.result.items_processed == 5  # one frame dropped
+    assert drone_followed_object(report.result)
+    assert report.restarts == 1

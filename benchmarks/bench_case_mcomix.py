@@ -1,0 +1,73 @@
+"""Section 5.4.2 — the MComix3 information-leak case study."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.apps.base import Workload
+from repro.apps.mcomix import MComixApp, RECENT_TAG
+from repro.attacks.scenarios import ATTACKER_SERVER, run_attack
+from repro.bench.tables import render_table
+
+WORKLOAD = Workload(items=3, image_size=16)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        technique: run_attack(
+            "CVE-2020-10378", technique=technique, app=MComixApp(),
+            target_tag=RECENT_TAG, workload=WORKLOAD,
+        )
+        for technique in ("none", "freepart")
+    }
+
+
+def test_case_mcomix_info_leak(benchmark, results):
+    benchmark.pedantic(
+        run_attack, args=("CVE-2020-10378",),
+        kwargs={"technique": "freepart", "app": MComixApp(),
+                "target_tag": RECENT_TAG, "workload": WORKLOAD},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [technique,
+         "leaked recent file names" if result.data_exfiltrated
+         else "nothing left the machine",
+         "/".join(result.blocked_by) or "-"]
+        for technique, result in results.items()
+    ]
+    emit(render_table(
+        "Section 5.4.2 — MComix3 recent-file-names leak (CVE-2020-10378)",
+        ["technique", "outcome", "blocked by"],
+        rows,
+        note="the variables live in the target program process and the "
+             "visualizing process; the loading-agent exploit can reach "
+             "neither, and its filter cannot send data out",
+    ))
+    assert results["none"].data_exfiltrated
+    assert not results["freepart"].data_exfiltrated
+    assert results["freepart"].prevented
+
+
+def test_case_mcomix_recent_state_locations(benchmark):
+    """The two copies of the recent list live outside the loading agent:
+    one in the host program, one in the GUI (visualizing) domain."""
+    from repro.apps.base import execute_app
+    from repro.apps.suite import used_api_objects
+    from repro.core.runtime import FreePart
+    from repro.sim.kernel import SimKernel
+
+    def measure():
+        app = MComixApp()
+        kernel = SimKernel()
+        gateway = FreePart(kernel=kernel).deploy(
+            used_apis=used_api_objects(app)
+        )
+        execute_app(app, gateway, WORKLOAD)
+        return kernel, gateway
+
+    kernel, gateway = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert gateway.host.memory.find_buffer(RECENT_TAG) is not None
+    assert kernel.gui.recent_files  # the Gtk.RecentManager copy
+    loading_agent = gateway.agents[0]
+    assert loading_agent.process.memory.find_buffer(RECENT_TAG) is None

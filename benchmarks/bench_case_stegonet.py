@@ -1,0 +1,59 @@
+"""Appendix A.7 — the StegoNet trojan-model case study."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.apps.base import Workload
+from repro.apps.medical import CtViewerApp, InvoiceOcrApp
+from repro.attacks.stegonet import run_stegonet_attack
+from repro.bench.tables import render_table
+
+WORKLOAD = Workload(items=2, image_size=16)
+
+
+@pytest.fixture(scope="module")
+def results():
+    table = {}
+    for app_cls in (CtViewerApp, InvoiceOcrApp):
+        table[app_cls.__name__] = {
+            technique: run_stegonet_attack(app_cls(), technique,
+                                           workload=WORKLOAD)
+            for technique in ("none", "freepart")
+        }
+    return table
+
+
+def test_case_stegonet(benchmark, results):
+    benchmark.pedantic(
+        run_stegonet_attack, args=(CtViewerApp(), "freepart"),
+        kwargs={"workload": WORKLOAD}, rounds=1, iterations=1,
+    )
+    rows = []
+    for app_name, by_technique in results.items():
+        unprotected = by_technique["none"]
+        protected = by_technique["freepart"]
+        rows.append([
+            app_name,
+            "fork bomb detonated" if unprotected.fork_bomb_detonated else "-",
+            "payload seccomp-killed" if protected.prevented else "MISSED",
+            "intact" if protected.record_intact else "LEAKED/CORRUPTED",
+        ])
+    emit(render_table(
+        "Appendix A.7 — StegoNet trojan models",
+        ["application", "unprotected", "FreePart", "sensitive record"],
+        rows,
+        note="no framework API in any agent requires fork(); the trojan's "
+             "payload dies on its first syscall",
+    ))
+    for app_name, by_technique in results.items():
+        assert by_technique["none"].fork_bomb_detonated, app_name
+        assert by_technique["freepart"].prevented, app_name
+        assert by_technique["freepart"].record_intact, app_name
+
+
+def test_case_stegonet_blocked_by_syscall_restriction(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for by_technique in results.values():
+        outcome = by_technique["freepart"].outcomes[-1]
+        assert outcome.blocked_by == "syscall-restriction"
+        assert outcome.process_role == "agent"

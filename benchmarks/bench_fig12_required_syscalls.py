@@ -1,0 +1,90 @@
+"""Fig. 12 — required system calls per API and the loading-agent union.
+
+Prints (a) the per-API syscall requirements of the Fig. 10 program's
+loading APIs, measured from their dynamic traces, (b) the union the
+data-loading agent is allowed (Fig. 12-b), and (c) the finer-grained
+sub-partitioned variant of Appendix A.6, where CascadeClassifier::load
+loses access to ``ioctl``.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.apps.facial import FacialRecognitionApp
+from repro.apps.suite import used_api_objects
+from repro.bench.tables import render_table
+from repro.core.apitypes import APIType
+from repro.core.dynamic_analysis import DynamicAnalyzer
+from repro.core.runtime import FreePart, FreePartConfig
+from repro.frameworks.registry import get_api
+
+FIG12_APIS = ("CascadeClassifier_load", "VideoCapture", "VideoCapture_read")
+
+
+@pytest.fixture(scope="module")
+def traces():
+    analyzer = DynamicAnalyzer()
+    return {
+        name: analyzer.analyze(get_api("opencv", name))
+        for name in FIG12_APIS
+    }
+
+
+def test_fig12_per_api_requirements(benchmark, traces):
+    benchmark.pedantic(
+        lambda: DynamicAnalyzer().analyze(get_api("opencv", "VideoCapture_read")),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [f"cv2.{name}", ", ".join(sorted(traces[name].syscalls))]
+        for name in FIG12_APIS
+    ]
+    union = sorted(set().union(*(traces[name].syscalls for name in FIG12_APIS)))
+    rows.append(["data-loading agent (union)", ", ".join(union)])
+    emit(render_table(
+        "Fig. 12 — required syscalls (measured from dynamic traces)",
+        ["API / agent", "system calls"],
+        rows,
+        note="paper Fig. 12-b union: openat, close, brk, fstat, read, "
+             "lseek, ioctl, mmap, select",
+    ))
+    # The paper's Fig. 12-a per-API lists.
+    assert {"openat", "read", "close", "fstat",
+            "lseek"} <= set(traces["CascadeClassifier_load"].syscalls)
+    assert "ioctl" not in traces["CascadeClassifier_load"].syscalls
+    assert {"openat", "ioctl", "mmap"} <= set(traces["VideoCapture"].syscalls)
+    assert {"ioctl", "select"} <= set(traces["VideoCapture_read"].syscalls)
+    # And the Fig. 12-b union.
+    assert {"openat", "close", "brk", "fstat", "read", "lseek",
+            "ioctl", "mmap", "select"} <= set(union)
+
+
+def test_fig12_sub_partitioned_agents(benchmark):
+    """Appendix A.6: splitting the loading agent gives the classifier
+    loader a filter without ioctl — the finer-grained restriction."""
+    app = FacialRecognitionApp()
+    config = FreePartConfig(subpartitions={APIType.LOADING: [
+        ["cv2.CascadeClassifier_load"],
+        ["cv2.VideoCapture", "cv2.VideoCapture_read"],
+    ]})
+    freepart = FreePart(config=config)
+    gateway = benchmark.pedantic(
+        lambda: freepart.deploy(used_apis=used_api_objects(app)),
+        rounds=1, iterations=1,
+    )
+    by_label = {a.partition.label: a for a in gateway.agents.values()}
+    rows = [
+        [label, len(agent.process.filter.allowed_names),
+         "yes" if "ioctl" in agent.process.filter.allowed_names else "no"]
+        for label, agent in sorted(by_label.items())
+    ]
+    emit(render_table(
+        "A.6 — sub-partitioned loading agents (tight filters)",
+        ["agent", "allowlist size", "ioctl allowed"],
+        rows,
+    ))
+    classifier = by_label["data_loading#0"].process.filter
+    capture = by_label["data_loading#1"].process.filter
+    assert "ioctl" not in classifier.allowed_names
+    assert "ioctl" in capture.allowed_names
+    assert len(classifier.allowed_names) < 43  # far below the type pool

@@ -1,0 +1,53 @@
+"""Fig. 13 — normalized runtime overhead of FreePart per application.
+
+The paper's headline: average 3.68% overhead across the 23 evaluation
+applications, per-app values between ~2.6% and ~5.7%.  The bench runs
+every application natively and under FreePart on the same workload and
+prints the normalized series.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.apps.base import Workload
+from repro.apps.suite import SAMPLE_IDS
+from repro.bench.runner import average_overhead, overhead_for_sample, overhead_sweep
+from repro.bench.tables import render_table
+
+WORKLOAD = Workload(items=2, image_size=16)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return overhead_sweep(SAMPLE_IDS, workload=WORKLOAD)
+
+
+def test_fig13_per_app_overhead(benchmark, rows):
+    benchmark.pedantic(
+        overhead_for_sample, args=(8,), kwargs={"workload": WORKLOAD},
+        rounds=1, iterations=1,
+    )
+    table = [
+        [row.sample_id, row.app_name,
+         f"{row.normalized_runtime:.3f}", f"{row.overhead_percent:.2f}%"]
+        for row in rows
+    ]
+    average = average_overhead(rows)
+    table.append(["-", "AVERAGE", "-", f"{average:.2f}%"])
+    emit(render_table(
+        "Fig. 13 — normalized runtime overhead of FreePart",
+        ["id", "application", "normalized runtime", "overhead"],
+        table,
+        note="paper: per-app 2.6%-5.7%, average 3.68%",
+    ))
+    for row in rows:
+        assert 0.0 < row.overhead_percent < 8.0, row.app_name
+    assert 1.5 < average < 6.0
+
+
+def test_fig13_every_app_pays_something(benchmark, rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert all(row.normalized_runtime > 1.0 for row in rows)
+    assert max(row.overhead_percent for row in rows) < 3 * min(
+        row.overhead_percent for row in rows
+    ) + 5  # no outlier app dominates the average

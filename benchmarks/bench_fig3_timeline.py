@@ -1,0 +1,90 @@
+"""Fig. 3 — timeline of API calls and data protection.
+
+Replays the motivating example's first grading pass under FreePart and
+prints the Fig. 3 timeline: the framework state at each step and the
+writability of ``template`` and ``OMRCrop`` — template becomes read-only
+at the first ``imread``, OMRCrop when processing begins, both stay
+read-only afterwards.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.apps.omrchecker import (
+    DEFAULT_TEMPLATE,
+    MASTER_ANSWERS,
+    OMRCROP_TAG,
+    TEMPLATE_TAG,
+    OMRCheckerApp,
+)
+from repro.apps.suite import used_api_objects
+from repro.bench.tables import render_table
+from repro.core.runtime import FreePart, FreePartConfig
+from repro.sim.kernel import SimKernel
+
+
+def replay_timeline():
+    app = OMRCheckerApp()
+    kernel = SimKernel()
+    config = FreePartConfig(annotations=tuple(app.annotations))
+    gateway = FreePart(kernel=kernel, config=config).deploy(
+        used_apis=used_api_objects(app)
+    )
+    sheet_pixels = np.zeros((20, 20, 3))
+    for x, y, w, h in DEFAULT_TEMPLATE:
+        sheet_pixels[y:y + h, x:x + w] = 255.0
+    kernel.fs.write_file("/in/sheet.png", sheet_pixels)
+
+    def writable(tag):
+        try:
+            buffer = gateway.host_buffer(tag)
+        except KeyError:
+            return "-"
+        return ("writable" if gateway.host.memory.is_writable(buffer.buffer_id)
+                else "READ-ONLY")
+
+    timeline = []
+
+    def snapshot(event):
+        timeline.append([
+            event, gateway.machine.state_label,
+            writable(TEMPLATE_TAG), writable(OMRCROP_TAG),
+        ])
+
+    gateway.host_alloc(TEMPLATE_TAG, [list(b) for b in DEFAULT_TEMPLATE])
+    gateway.host_alloc("answers", list(MASTER_ANSWERS))
+    snapshot("template defined (host init)")
+
+    sheet = gateway.call("opencv", "imread", "/in/sheet.png")
+    gateway.host_alloc(OMRCROP_TAG, sheet)
+    snapshot("imread() — data loading")
+
+    blurred = gateway.call("opencv", "GaussianBlur", sheet)
+    snapshot("GaussianBlur() — data processing")
+
+    gateway.call("opencv", "morphologyEx", blurred)
+    snapshot("morphologyEx() — data processing")
+
+    gateway.call("opencv", "imshow", "result", blurred)
+    snapshot("imshow() — visualizing")
+    return timeline
+
+
+def test_fig3_timeline(benchmark):
+    timeline = benchmark.pedantic(replay_timeline, rounds=1, iterations=1)
+    emit(render_table(
+        "Fig. 3 — framework state and data permissions over time",
+        ["event", "framework state", "template", "OMRCrop"],
+        timeline,
+        note="template is read-only from the first data-loading call on; "
+             "OMRCrop is writable while being defined and read-only once "
+             "processing begins",
+    ))
+    by_event = {row[0]: row for row in timeline}
+    assert by_event["template defined (host init)"][2] == "writable"
+    assert by_event["imread() — data loading"][2] == "READ-ONLY"
+    assert by_event["imread() — data loading"][3] == "writable"
+    assert by_event["GaussianBlur() — data processing"][3] == "READ-ONLY"
+    assert by_event["imshow() — visualizing"][2] == "READ-ONLY"
+    assert by_event["imshow() — visualizing"][3] == "READ-ONLY"

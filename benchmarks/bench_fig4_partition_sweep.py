@@ -1,0 +1,115 @@
+"""Fig. 4 — average runtime for different numbers of partitions.
+
+The paper splits the data-processing agent into randomly chosen finer
+partitions (7,750 samples per k from 5 to 25) and finds a 1.4x runtime
+jump from 4 to 5 partitions — caused by the two hot-loop APIs
+(cv.rectangle, cv.putText) landing in different partitions and copying
+their shared image on every call — followed by a plateau.
+
+We run the same sweep with a seeded subsample per k (configurable via
+FIG4_SEEDS) on an OMRChecker workload with paper-scale sheet sizes, so
+the hot-loop data movement is substantial relative to the API compute.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.apps.base import Workload, execute_app
+from repro.apps.omrchecker import OMRCheckerApp
+from repro.apps.suite import used_api_objects
+from repro.bench.tables import render_series
+from repro.core.runtime import FreePart, FreePartConfig
+from repro.sim.kernel import SimKernel
+
+SEEDS_PER_K = int(os.environ.get("FIG4_SEEDS", "4"))
+PARTITION_COUNTS = (4, 5, 6, 7, 8, 9, 14, 19, 24)
+WORKLOAD = Workload(items=1, image_size=16)
+SHEET_SIZE = 256  # paper-scale input (a ~1.6 MB sheet after decode)
+
+
+def run_once(partition_count: int, seed: int) -> float:
+    app = OMRCheckerApp()
+    kernel = SimKernel()
+    config = FreePartConfig(
+        partition_count=partition_count,
+        partition_seed=seed,
+        annotations=tuple(app.annotations),
+    )
+    gateway = FreePart(kernel=kernel, config=config).deploy(
+        used_apis=used_api_objects(app)
+    )
+    app.setup(kernel, WORKLOAD)
+    # Replace the small sheets with paper-scale ones.
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    for item in range(WORKLOAD.items):
+        sheet = np.zeros((SHEET_SIZE, SHEET_SIZE, 3))
+        for x, y, w, h in ((20, 20, 80, 80), (180, 20, 80, 80), (20, 180, 80, 80)):
+            sheet[y:y + h, x:x + w] = 255.0
+        sheet += rng.normal(scale=2.0, size=sheet.shape)
+        kernel.fs.write_file(app.input_path(item), sheet)
+    report = execute_app(app, gateway, WORKLOAD, setup=False)
+    assert not report.failed, report.error
+    return report.virtual_seconds
+
+
+def average_runtime(partition_count: int) -> float:
+    if partition_count == 4:
+        return run_once(4, 0)  # the default plan is unique
+    samples = [run_once(partition_count, seed) for seed in range(SEEDS_PER_K)]
+    return sum(samples) / len(samples)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return {k: average_runtime(k) for k in PARTITION_COUNTS}
+
+
+def test_fig4_partition_sweep(benchmark, series):
+    benchmark.pedantic(run_once, args=(5, 0), rounds=1, iterations=1)
+    baseline = series[4]
+    emit(render_series(
+        "Fig. 4 — average runtime vs number of partitions "
+        f"(x{SEEDS_PER_K} random partitionings per k)",
+        list(series.keys()),
+        [f"{series[k]:.4f}s ({series[k] / baseline:.2f}x)" for k in series],
+        x_label="partitions",
+        y_label="avg runtime (vs 4 partitions)",
+    ))
+    # The 4->5 jump: splitting the processing agent separates the two
+    # hot-loop APIs in a fraction of the random partitionings.
+    assert series[5] > 1.10 * baseline
+    # Beyond the jump the curve plateaus (paper: flat ~75-77s after 5).
+    plateau = [series[k] for k in PARTITION_COUNTS if k >= 5]
+    assert max(plateau) < 1.35 * min(plateau)
+    # Finer partitioning never gets cheaper than the 4-way default.
+    assert min(plateau) > baseline
+
+
+def test_fig4_hot_pair_split_is_the_cause(benchmark):
+    """Pin the mechanism: a plan that splits cv.rectangle from cv.putText
+    is measurably slower than one that keeps them together."""
+    import random
+
+    from repro.core.hybrid import HybridAnalyzer
+    from repro.core.partitioner import apis_split_across, split_processing_plan
+    from repro.apps.suite import used_api_objects as used
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    app = OMRCheckerApp()
+    categorization = HybridAnalyzer().categorize(used(app))
+    together, apart = None, None
+    for seed in range(64):
+        plan = split_processing_plan(categorization, 5, rng=random.Random(seed))
+        split = apis_split_across(plan, "cv2.rectangle", "cv2.putText")
+        if split and apart is None:
+            apart = seed
+        if not split and together is None:
+            together = seed
+        if together is not None and apart is not None:
+            break
+    assert together is not None and apart is not None
+    assert run_once(5, apart) > 1.10 * run_once(5, together)

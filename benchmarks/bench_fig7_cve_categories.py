@@ -1,0 +1,48 @@
+"""Fig. 7 — the 241 study CVEs categorized by API type and vulnerability."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import (
+    build_cve_corpus,
+    counts_by_api_type,
+    figure7_counts,
+    framework_totals,
+)
+from repro.attacks.cves import VulnType
+from repro.bench.tables import render_bars
+from repro.core.apitypes import APIType
+
+
+def test_fig7_cve_categorization(benchmark):
+    corpus = benchmark.pedantic(build_cve_corpus, rounds=1, iterations=1)
+    counts = figure7_counts(corpus)
+    bars = {}
+    for api_type in (APIType.LOADING, APIType.PROCESSING,
+                     APIType.STORING, APIType.VISUALIZING):
+        for vuln_type in VulnType:
+            value = counts.get((api_type, vuln_type), 0)
+            if value:
+                bars[f"{api_type.value} / {vuln_type.value}"] = value
+    emit(render_bars("Fig. 7 — CVEs by API type and vulnerability class", bars))
+
+    assert len(corpus) == 241
+    assert framework_totals(corpus) == {
+        "tensorflow": 172, "pillow": 44, "opencv": 22, "numpy": 3,
+    }
+    # The legible Fig. 7 bars.
+    assert counts[(APIType.LOADING, VulnType.DOS)] == 59
+    assert counts[(APIType.PROCESSING, VulnType.DOS)] == 54
+    assert counts[(APIType.LOADING, VulnType.INFO_LEAK)] == 11
+    assert counts[(APIType.STORING, VulnType.DOS)] == 3
+
+
+def test_fig7_takeaways(benchmark):
+    """The paper's two takeaways: vulnerabilities exist across all four
+    types, but loading + processing dominate."""
+    corpus = benchmark.pedantic(build_cve_corpus, rounds=1, iterations=1)
+    by_type = counts_by_api_type(corpus)
+    for api_type in (APIType.LOADING, APIType.PROCESSING,
+                     APIType.VISUALIZING, APIType.STORING):
+        assert by_type[api_type] >= 1, api_type
+    assert by_type[APIType.LOADING] + by_type[APIType.PROCESSING] > 230

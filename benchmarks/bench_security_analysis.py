@@ -1,0 +1,107 @@
+"""Section 5.3 — data exfiltration and data corruption analysis.
+
+Reproduces the two attack scenarios of the security analysis: a powerful
+attacker who knows the exact location of sensitive data tries to (a)
+ship it to an attacker-controlled server and (b) overwrite it, through a
+loading-agent and a processing-agent vulnerability.  The analysis
+asserts the paper's two findings: the sensitive data is not reachable
+from the compromised agents, and even when an agent holds data, its
+filter has no syscall that can write it out.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.apps.base import Workload
+from repro.apps.facial import FacialRecognitionApp, USERPROFILE_TAG
+from repro.attacks.scenarios import ATTACKER_SERVER, run_attack
+from repro.bench.tables import render_table
+
+WORKLOAD = Workload(items=2, image_size=16)
+
+SCENARIOS = (
+    # (label, cve, technique-independent target)
+    ("exfiltrate user profiles via loading vuln", "CVE-2020-10378",
+     USERPROFILE_TAG),
+    ("corrupt user profiles via loading vuln", "CVE-2017-12606",
+     USERPROFILE_TAG),
+    ("corrupt user profiles via processing vuln", "CVE-2019-5063",
+     USERPROFILE_TAG),
+)
+
+
+def run_scenario(cve_id, target, technique):
+    return run_attack(
+        cve_id, technique=technique, app=FacialRecognitionApp(),
+        target_tag=target, workload=Workload(items=2, image_size=16,
+                                             keys=""),
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    table = {}
+    for label, cve_id, target in SCENARIOS:
+        table[label] = {
+            technique: run_scenario(cve_id, target, technique)
+            for technique in ("none", "freepart")
+        }
+    return table
+
+
+def test_section53_security_analysis(benchmark, results):
+    benchmark.pedantic(
+        run_scenario, args=(SCENARIOS[0][1], SCENARIOS[0][2], "freepart"),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for label, by_technique in results.items():
+        unprotected = by_technique["none"]
+        protected = by_technique["freepart"]
+        rows.append([
+            label,
+            "succeeded" if not unprotected.prevented else "-",
+            "blocked: " + "/".join(protected.blocked_by)
+            if protected.prevented else "MISSED",
+        ])
+    emit(render_table(
+        "Section 5.3 — exfiltration / corruption analysis "
+        "(facial-recognition app, user profiles as the sensitive data)",
+        ["attack", "unprotected", "FreePart"],
+        rows,
+        note="loading and processing agents cannot reach the host's "
+             "sensitive data, and their filters lack every data-egress "
+             "syscall",
+    ))
+    for label, by_technique in results.items():
+        assert not by_technique["none"].prevented, label
+        assert by_technique["freepart"].prevented, label
+
+
+def test_section53_nothing_reaches_the_attacker(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for label, by_technique in results.items():
+        assert not by_technique["freepart"].data_exfiltrated, label
+
+
+def test_section53_profiles_unreadable_from_agents(benchmark):
+    """The target program process keeps the profiles; agents never map
+    them."""
+    from repro.apps.base import execute_app
+    from repro.apps.suite import used_api_objects
+    from repro.core.runtime import FreePart
+    from repro.sim.kernel import SimKernel
+
+    def measure():
+        app = FacialRecognitionApp()
+        kernel = SimKernel()
+        gateway = FreePart(kernel=kernel).deploy(
+            used_apis=used_api_objects(app)
+        )
+        execute_app(app, gateway, WORKLOAD)
+        return gateway
+
+    gateway = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for agent in gateway.agents.values():
+        assert agent.process.memory.find_buffer(USERPROFILE_TAG) is None
+    assert gateway.host.memory.find_buffer(USERPROFILE_TAG) is not None

@@ -1,0 +1,78 @@
+"""Table 10 — API isolation granularity (APIs per process)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.apps.base import Workload, execute_app
+from repro.apps.suite import make_app
+from repro.attacks.scenarios import build_gateway
+from repro.bench.tables import render_table
+from repro.core.apitypes import APIType
+from repro.core.hybrid import HybridAnalyzer
+from repro.core.partitioner import four_way_plan, granularity_stats
+from repro.sim.kernel import SimKernel
+
+
+def freepart_partition_sizes():
+    """APIs per FreePart agent over the motivating-example universe."""
+    from benchmarks.bench_table2_categorization import motivating_example_universe
+
+    categorization = HybridAnalyzer().categorize(motivating_example_universe())
+    plan = four_way_plan(categorization)
+    return plan, categorization
+
+
+def test_table10_freepart_granularity(benchmark):
+    plan, categorization = benchmark.pedantic(
+        freepart_partition_sizes, rounds=1, iterations=1
+    )
+    sizes = {p.api_type.value: len(p) for p in plan.partitions}
+    stats = granularity_stats(plan)
+    emit(render_table(
+        "Table 10 — FreePart agents over the 86-API example universe",
+        ["partition", "# APIs"],
+        sorted(sizes.items()),
+        note=f"min={stats['min']} max={stats['max']} "
+             f"stddev={stats['stddev']:.1f} processes={stats['processes']}; "
+             "paper row: 3 / 75 / 6 / 2 across 5 processes",
+    ))
+    assert sizes["data_loading"] == 3
+    assert sizes["data_processing"] == 75
+    assert sizes["visualizing"] == 6
+    assert sizes["storing"] == 2
+    assert stats["processes"] == 5
+
+
+def test_table10_technique_granularity(benchmark):
+    """APIs-per-process extremes across the techniques (Table 10 rows)."""
+
+    def run(technique):
+        app = make_app(8)
+        kernel = SimKernel()
+        gateway = build_gateway(technique, kernel, app=app)
+        execute_app(app, gateway, Workload(items=2, image_size=16))
+        return gateway
+
+    gateways = benchmark.pedantic(
+        lambda: {t: run(t) for t in
+                 ("memory_based", "lib_entire", "lib_individual")},
+        rounds=1, iterations=1,
+    )
+    unique_apis = len(gateways["lib_entire"].stats.unique_qualnames())
+    rows = [
+        ["memory_based", "1 process holds every API",
+         gateways["memory_based"].process_count],
+        ["lib_entire", f"1 library process holds all {unique_apis} APIs",
+         gateways["lib_entire"].process_count],
+        ["lib_individual", "1 API per process",
+         gateways["lib_individual"].process_count],
+    ]
+    emit(render_table(
+        "Table 10 — granularity extremes",
+        ["technique", "granularity", "processes"],
+        rows,
+    ))
+    # Individual isolation: one process per distinct API (+ host).
+    assert gateways["lib_individual"].process_count == unique_apis + 1
+    assert gateways["lib_entire"].process_count == 2
+    assert gateways["memory_based"].process_count == 1

@@ -1,0 +1,81 @@
+"""Table 4 — API type categorization examples per framework."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.tables import render_table
+from repro.core.apitypes import APIType
+from repro.core.hybrid import HybridAnalyzer
+from repro.frameworks.registry import MAJOR_FRAMEWORKS, get_framework
+
+#: Table 4's named examples, which must exist and categorize correctly.
+PAPER_EXAMPLES = {
+    ("opencv", APIType.LOADING): ["imread", "cvLoad", "VideoCapture",
+                                  "readOpticalFlow"],
+    ("opencv", APIType.PROCESSING): ["CascadeClassifier", "cvtColor",
+                                     "equalizeHist"],
+    ("opencv", APIType.VISUALIZING): ["setWindowTitle", "getMouseWheelDelta",
+                                      "imshow"],
+    ("opencv", APIType.STORING): ["imwrite", "writeOpticalFlow",
+                                  "VideoWriter"],
+    ("caffe", APIType.LOADING): ["ReadProtoFromTextFile",
+                                 "ReadProtoFromBinaryFile"],
+    ("caffe", APIType.PROCESSING): ["Forward", "Backward",
+                                    "CopyTrainedLayersFrom"],
+    ("caffe", APIType.STORING): ["hdf5_save_string", "WriteProtoToTextFile"],
+    ("pytorch", APIType.LOADING): ["load", "hub_load", "model_zoo_load_url"],
+    ("pytorch", APIType.PROCESSING): ["argmax", "tensor", "nn_Conv2d",
+                                      "combinations"],
+    ("pytorch", APIType.STORING): ["save", "SummaryWriter"],
+    ("tensorflow", APIType.LOADING): ["image_dataset_from_directory",
+                                      "utils_get_file"],
+    ("tensorflow", APIType.PROCESSING): ["conv3d", "avg_pool", "max_pool"],
+    ("tensorflow", APIType.STORING): ["preprocessing_image_save_img",
+                                      "Model_save_weights"],
+}
+
+
+@pytest.fixture(scope="module")
+def categorizations():
+    analyzer = HybridAnalyzer()
+    return {
+        name: analyzer.categorize_framework(get_framework(name))
+        for name in MAJOR_FRAMEWORKS
+    }
+
+
+def test_table4_api_examples(benchmark, categorizations):
+    benchmark.pedantic(
+        lambda: HybridAnalyzer().categorize_framework(get_framework("caffe")),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for (framework, api_type), names in sorted(
+        PAPER_EXAMPLES.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+    ):
+        qualnames = [
+            get_framework(framework).get(name).spec.qualname for name in names
+        ]
+        rows.append([framework, api_type.value, ", ".join(qualnames)])
+    emit(render_table(
+        "Table 4 — example APIs per framework and type",
+        ["framework", "type", "examples (as categorized)"],
+        rows,
+        note="Caffe/PyTorch/TensorFlow have no visualizing APIs (footnote)",
+    ))
+    for (framework, api_type), names in PAPER_EXAMPLES.items():
+        categorization = categorizations[framework]
+        for name in names:
+            qualname = get_framework(framework).get(name).spec.qualname
+            entry = categorization.get(qualname)
+            effective = entry.api_type
+            # cvtColor is type-neutral: its home type is processing.
+            assert effective is api_type or entry.neutral, (framework, name)
+
+
+def test_table4_no_visualizing_in_ml_frameworks(benchmark, categorizations):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.core.apitypes import APIType
+
+    for name in ("caffe", "pytorch", "tensorflow"):
+        assert categorizations[name].of_type(APIType.VISUALIZING) == []

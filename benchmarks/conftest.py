@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench prints the rows/series of the paper table or figure it
+regenerates (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them) and asserts the reproduced *shape* — orderings, ratios, crossovers
+— against the published numbers.  All reported metrics come from the
+deterministic virtual clock; pytest-benchmark's wall-time measurement
+tracks harness performance only.
+"""
+
+import sys
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a rendered table, visible even without -s via terminalwriter."""
+    print()
+    print(text)
+    sys.stdout.flush()
+
+
+@pytest.fixture(scope="session")
+def workload():
+    from repro.apps.base import Workload
+
+    return Workload(items=2, image_size=16)

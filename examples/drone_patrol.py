@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The drone case study (Section 5.4.1): surviving a DoS mid-flight.
+
+The drone tracks an object through camera frames.  Mid-patrol it loads a
+poisoned frame that crashes the image decoder (CVE-2017-14136).  Without
+isolation the whole program — and the drone — goes down.  Under FreePart
+only the data-loading agent dies; the runtime restarts it, the poisoned
+frame is dropped, and the patrol continues.
+
+Run:  python examples/drone_patrol.py
+"""
+
+from repro.apps.base import Workload, execute_app
+from repro.apps.drone import DroneApp, drone_followed_object
+from repro.apps.suite import used_api_objects
+from repro.attacks.exploits import DosExploit
+from repro.attacks.payloads import CraftedInput, benign_image
+from repro.core.gateway import NativeGateway
+from repro.core.runtime import FreePart
+from repro.sim.kernel import SimKernel
+
+WORKLOAD = Workload(items=8)
+POISONED_FRAME = 3
+CVE = "CVE-2017-14136"
+
+
+def patrol(protected: bool):
+    app = DroneApp()
+    kernel = SimKernel()
+    if protected:
+        gateway = FreePart(kernel=kernel).deploy(
+            used_apis=used_api_objects(app)
+        )
+    else:
+        gateway = NativeGateway(kernel)
+    app.setup(kernel, WORKLOAD)
+    crafted = CraftedInput(CVE, DosExploit(), benign_image())
+    kernel.fs.write_file(app.frame_path(POISONED_FRAME), crafted)
+    report = execute_app(app, gateway, WORKLOAD, setup=False)
+    return gateway, report
+
+
+def main() -> None:
+    print("=== unprotected patrol ===")
+    gateway, report = patrol(protected=False)
+    if report.failed or not gateway.host.alive:
+        print(f"frame {POISONED_FRAME} crashed the drone program: "
+              f"{report.error or 'process dead'}")
+        print("=> the drone halts and falls out of the sky\n")
+
+    print("=== FreePart-protected patrol ===")
+    gateway, report = patrol(protected=True)
+    result = report.result
+    print(f"frames processed: {result.items_processed}/{WORKLOAD.items} "
+          f"(poisoned frame dropped)")
+    print(f"agent crashes survived: {result.crashes_survived}, "
+          f"agent restarts: {report.restarts}")
+    print(f"drone airborne: {result.outputs['airborne']}, "
+          f"still tracking: {drone_followed_object(result)}")
+    print(f"speed setting intact: {result.outputs['final_speed']}")
+    positions = result.outputs["positions"]
+    print("trajectory: " + " ".join(f"{x:.1f}" for x in positions))
+
+
+if __name__ == "__main__":
+    main()

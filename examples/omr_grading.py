@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The motivating example (Section 3): grading OMR sheets under attack.
+
+A teacher grades student answer sheets with OMRChecker.  A malicious
+student submits a crafted image exploiting CVE-2017-12597 in
+``cv2.imread`` to corrupt the grading template.  The example runs the
+same scenario twice — unprotected and under FreePart — and prints what
+happened to the grades.
+
+Run:  python examples/omr_grading.py
+"""
+
+from repro.apps.base import Workload, execute_app
+from repro.apps.omrchecker import (
+    DEFAULT_TEMPLATE,
+    OMRCheckerApp,
+    TEMPLATE_TAG,
+    read_scores,
+)
+from repro.apps.suite import used_api_objects
+from repro.attacks.exploits import MemoryCorruptionExploit
+from repro.attacks.payloads import CraftedInput, benign_image
+from repro.core.gateway import NativeGateway
+from repro.core.runtime import FreePart, FreePartConfig
+from repro.errors import FrameworkCrash
+from repro.sim.kernel import SimKernel
+
+WORKLOAD = Workload(items=3, image_size=16)
+CVE = "CVE-2017-12597"
+
+
+def grade_with_attack(protected: bool):
+    app = OMRCheckerApp()
+    kernel = SimKernel()
+    if protected:
+        config = FreePartConfig(annotations=tuple(app.annotations))
+        gateway = FreePart(kernel=kernel, config=config).deploy(
+            used_apis=used_api_objects(app)
+        )
+    else:
+        gateway = NativeGateway(kernel)
+    app.setup(kernel, WORKLOAD)
+
+    # Grade the honest submissions first.
+    execute_app(app, gateway, WORKLOAD, setup=False)
+    before = read_scores(kernel, app)
+
+    # The malicious student's sheet: it exploits imread() to overwrite
+    # the template's answer-box coordinates (Fig. 1).
+    crafted = CraftedInput(
+        CVE,
+        MemoryCorruptionExploit(TEMPLATE_TAG,
+                                new_value=[[0, 0, 1, 1]] * 3),
+        cover=benign_image(),
+    )
+    kernel.fs.write_file("/submissions/malicious.png", crafted)
+    try:
+        gateway.call("opencv", "imread", "/submissions/malicious.png")
+        attack_note = "exploit executed silently"
+    except FrameworkCrash as crash:
+        attack_note = f"exploit contained: {crash}"
+
+    template = gateway.host_read(TEMPLATE_TAG)
+    return before, template, attack_note, crafted.last_outcome
+
+
+def main() -> None:
+    print("=== unprotected ===")
+    scores, template, note, outcome = grade_with_attack(protected=False)
+    print(f"grades before attack: {scores[1:]}")
+    print(f"attack: {note}")
+    print(f"template after attack: {template}")
+    corrupted = template != [list(b) for b in DEFAULT_TEMPLATE]
+    print(f"=> template corrupted: {corrupted} "
+          "(every future submission is now mis-graded)\n")
+
+    print("=== under FreePart ===")
+    scores, template, note, outcome = grade_with_attack(protected=True)
+    print(f"grades before attack: {scores[1:]}")
+    print(f"attack: {note}")
+    print(f"exploit ran in: {outcome.process_name} "
+          f"(blocked by {outcome.blocked_by})")
+    print(f"template after attack: {template}")
+    corrupted = template != [list(b) for b in DEFAULT_TEMPLATE]
+    print(f"=> template corrupted: {corrupted} "
+          "(the grading process keeps working)")
+
+
+if __name__ == "__main__":
+    main()

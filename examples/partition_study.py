@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Mini partition-count study (Fig. 4): why FreePart uses four agents.
+
+Runs OMRChecker under FreePart with 4..12 partitions (finer partitions
+split the data-processing agent randomly) and prints the runtime curve:
+the jump past four partitions comes from the hot-loop annotation APIs
+(cv.rectangle / cv.putText) landing in different processes and copying
+their shared sheet on every call.
+
+Run:  python examples/partition_study.py
+"""
+
+import numpy as np
+
+from repro.apps.base import Workload, execute_app
+from repro.apps.omrchecker import OMRCheckerApp
+from repro.apps.suite import used_api_objects
+from repro.core.runtime import FreePart, FreePartConfig
+from repro.sim.kernel import SimKernel
+
+WORKLOAD = Workload(items=1, image_size=16)
+SHEET = 192
+SEEDS = 3
+
+
+def run_once(partitions: int, seed: int) -> float:
+    app = OMRCheckerApp()
+    kernel = SimKernel()
+    config = FreePartConfig(partition_count=partitions, partition_seed=seed,
+                            annotations=tuple(app.annotations))
+    gateway = FreePart(kernel=kernel, config=config).deploy(
+        used_apis=used_api_objects(app)
+    )
+    app.setup(kernel, WORKLOAD)
+    rng = np.random.default_rng(11)
+    sheet = np.zeros((SHEET, SHEET, 3))
+    sheet[20:80, 20:80] = 255.0
+    sheet += rng.normal(scale=2.0, size=sheet.shape)
+    kernel.fs.write_file(app.input_path(0), sheet)
+    report = execute_app(app, gateway, WORKLOAD, setup=False)
+    assert not report.failed, report.error
+    return report.virtual_seconds
+
+
+def main() -> None:
+    baseline = run_once(4, 0)
+    print(f"{'partitions':>10}  {'avg runtime':>12}  {'vs 4 agents':>11}")
+    print(f"{4:>10}  {baseline * 1e3:>10.1f}ms  {1.0:>10.2f}x")
+    for partitions in (5, 6, 8, 10, 12):
+        samples = [run_once(partitions, seed) for seed in range(SEEDS)]
+        average = sum(samples) / len(samples)
+        print(f"{partitions:>10}  {average * 1e3:>10.1f}ms  "
+              f"{average / baseline:>10.2f}x")
+    print("\nFiner partitioning buys no extra security here (the split "
+          "APIs have no CVEs)\nbut pays real data-movement cost — the "
+          "paper's argument for exactly four agents.")
+
+
+if __name__ == "__main__":
+    main()

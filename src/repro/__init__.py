@@ -1,0 +1,53 @@
+"""FreePart reproduction: framework-based partitioning and isolation.
+
+This package reproduces the system described in "FreePart: Hardening Data
+Processing Software via Framework-based Partitioning and Isolation"
+(ASPLOS 2023) on top of a simulated OS substrate (see ``repro.sim``).
+
+The most commonly used entry points are re-exported at the top level
+(lazily, so subsystems can be imported independently):
+
+``FreePart``
+    The runtime façade: offline hybrid analysis, API hooking, agent-process
+    creation, and online policy enforcement.
+``APIType`` / ``FrameworkState``
+    The four API categories and the five framework states.
+``SimKernel``
+    The simulated operating-system kernel used as the isolation substrate.
+"""
+
+from typing import Any
+
+__all__ = [
+    "APIType",
+    "FrameworkState",
+    "FreePart",
+    "FreePartConfig",
+    "RunReport",
+    "SimKernel",
+    "__version__",
+]
+
+__version__ = "1.0.0"
+
+_LAZY_EXPORTS = {
+    "APIType": ("repro.core.apitypes", "APIType"),
+    "FrameworkState": ("repro.core.apitypes", "FrameworkState"),
+    "FreePart": ("repro.core.runtime", "FreePart"),
+    "FreePartConfig": ("repro.core.runtime", "FreePartConfig"),
+    "RunReport": ("repro.core.runtime", "RunReport"),
+    "SimKernel": ("repro.sim.kernel", "SimKernel"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

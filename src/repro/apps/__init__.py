@@ -1,0 +1,31 @@
+"""Evaluation applications (Table 6) and case-study programs."""
+
+from repro.apps.base import (
+    Application,
+    AppResult,
+    AppSpec,
+    ArgSpec,
+    CallSite,
+    PipelineApp,
+    TypeCounts,
+    Workload,
+    execute_app,
+)
+from repro.apps.suite import APP_SPECS, SAMPLE_IDS, all_apps, get_spec, make_app
+
+__all__ = [
+    "APP_SPECS",
+    "AppResult",
+    "AppSpec",
+    "Application",
+    "ArgSpec",
+    "CallSite",
+    "PipelineApp",
+    "SAMPLE_IDS",
+    "TypeCounts",
+    "Workload",
+    "all_apps",
+    "execute_app",
+    "get_spec",
+    "make_app",
+]

@@ -1,0 +1,93 @@
+"""The MComix3 image-viewer case study (Section 5.4.2).
+
+MComix3 keeps its recent-file-names list in two places: the host
+program's ``self._window.uimanager.recent`` variable and the GTK
+``Gtk::RecentManager`` (GUI state, i.e. the visualizing process under
+FreePart).  An attacker uses CVE-2020-10378 (a Pillow image-decoder
+vulnerability, exploited in the data-loading process) to read the recent
+file names and exfiltrate them.
+
+FreePart defeats the attack twice over: the variables are not mapped in
+the loading process, and the loading agent's filter lacks the syscalls to
+send anything out.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.apps.base import Application, AppResult, AppSpec, ArgSpec, CallSite, TypeCounts, Workload
+from repro.core.apitypes import APIType
+from repro.core.gateway import ApiGateway
+from repro.errors import FrameworkCrash
+from repro.sim.kernel import SimKernel
+
+RECENT_TAG = "self._window.uimanager.recent"
+
+MCOMIX_SPEC = AppSpec(
+    sample_id=102,
+    name="mcomix3",
+    main_framework="pillow",
+    language="Python",
+    sloc=310,
+    size_bytes=512 * 1024,
+    description="MComix3 comic-book viewer (Section 5.4.2)",
+    loading=TypeCounts(1, 1),
+    processing=TypeCounts(1, 1),
+    visualizing=TypeCounts(3, 3),
+    storing=TypeCounts(0, 0),
+    secondary_frameworks=("gtk",),
+)
+
+_SCHEDULE = (
+    CallSite("pillow", "Image_open", ArgSpec.SOURCE_PATH, APIType.LOADING),
+    CallSite("pillow", "Image_resize", ArgSpec.UNARY, APIType.PROCESSING),
+    CallSite("gtk", "Window_show", ArgSpec.UNARY, APIType.VISUALIZING),
+    CallSite("gtk", "RecentManager_add_item", ArgSpec.WINDOW_NAME, APIType.VISUALIZING),
+    CallSite("gtk", "RecentManager_get_items", ArgSpec.GUI_ONLY, APIType.VISUALIZING),
+)
+
+
+class MComixApp(Application):
+    """Open comics, keep a recent-files list, display pages."""
+
+    def __init__(self) -> None:
+        super().__init__(MCOMIX_SPEC)
+
+    @property
+    def schedule(self):
+        return _SCHEDULE
+
+    def comic_path(self, item: int) -> str:
+        return f"/home/user/comics/issue-{item}.cbz"
+
+    def setup(self, kernel: SimKernel, workload: Workload) -> None:
+        rng = np.random.default_rng(workload.seed + 777)
+        for item in range(workload.items):
+            page = rng.integers(0, 256, size=(16, 16, 3)).astype(np.float64)
+            kernel.fs.write_file(self.comic_path(item), page)
+
+    def run(self, gateway: ApiGateway, workload: Workload) -> AppResult:
+        result = AppResult()
+        recent: List[str] = []
+        gateway.host_alloc(RECENT_TAG, recent)
+        for item in range(workload.items):
+            path = self.comic_path(item)
+            try:
+                page = gateway.call("pillow", "Image_open", path)
+            except FrameworkCrash:
+                result.crashes_survived += 1
+                continue
+            thumb = gateway.call("pillow", "Image_resize", page)
+            gateway.call("gtk", "Window_show", thumb)
+            gateway.call("gtk", "RecentManager_add_item", path)
+            recent.insert(0, path)
+            gateway.host_write(RECENT_TAG, list(recent))
+            result.items_processed += 1
+        result.outputs["recent_menu"] = gateway.call(
+            "gtk", "RecentManager_get_items"
+        )
+        result.outputs["recent_variable"] = gateway.host_read(RECENT_TAG)
+        return result

@@ -1,0 +1,138 @@
+"""The two StegoNet follow-up programs of Appendix A.7.
+
+* **CT viewer** — analyzes a medical CT image; the patient's name, age,
+  and phone number live in the target (host) process, the CT image in
+  the data-loading process.
+* **Invoice OCR** — extracts an address, taxpayer id, and bank account
+  from tax-invoice images; all of that stays in the host process.
+
+Both load a (possibly trojaned) PyTorch model; the StegoNet mitigation
+bench runs them with a trojan planted in the model file.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.apps.base import Application, AppResult, AppSpec, ArgSpec, CallSite, TypeCounts, Workload
+from repro.core.apitypes import APIType
+from repro.core.gateway import ApiGateway
+from repro.errors import FrameworkCrash
+from repro.frameworks.base import Model
+from repro.sim.kernel import SimKernel
+
+PATIENT_TAG = "patient.record"
+INVOICE_TAG = "invoice.extracted"
+
+CT_MODEL_PATH = "/models/ct-classifier.pt"
+INVOICE_MODEL_PATH = "/models/invoice-ocr.pt"
+
+
+def _spec(sample_id: int, name: str, description: str) -> AppSpec:
+    return AppSpec(
+        sample_id=sample_id,
+        name=name,
+        main_framework="pytorch",
+        language="Python",
+        sloc=410,
+        size_bytes=2 * 1024 * 1024,
+        description=description,
+        loading=TypeCounts(2, 2),
+        processing=TypeCounts(3, 3),
+        visualizing=TypeCounts(0, 0),
+        storing=TypeCounts(1, 1),
+        secondary_frameworks=("opencv",),
+    )
+
+
+CT_SPEC = _spec(103, "ct-viewer", "Medical CT image analysis (A.7)")
+INVOICE_SPEC = _spec(104, "invoice-ocr", "Tax-invoice OCR (A.7)")
+
+_CT_SCHEDULE = (
+    CallSite("pytorch", "load", ArgSpec.SOURCE_PATH, APIType.LOADING, loop=False),
+    CallSite("opencv", "imread", ArgSpec.SOURCE_PATH, APIType.LOADING),
+    CallSite("opencv", "GaussianBlur", ArgSpec.UNARY, APIType.PROCESSING),
+    CallSite("pytorch", "Module_forward", ArgSpec.UNARY, APIType.PROCESSING),
+    CallSite("pytorch", "softmax", ArgSpec.UNARY, APIType.PROCESSING),
+    CallSite("pytorch", "save", ArgSpec.SINK_OBJ, APIType.STORING),
+)
+
+
+class _ModelDrivenApp(Application):
+    """Shared body for the two A.7 programs."""
+
+    model_path = CT_MODEL_PATH
+    record_tag = PATIENT_TAG
+    record_value: Dict[str, Any] = {}
+
+    @property
+    def schedule(self):
+        return _CT_SCHEDULE
+
+    def image_path(self, item: int) -> str:
+        return f"/data/{self.spec.name}/scan-{item}.png"
+
+    def setup(self, kernel: SimKernel, workload: Workload) -> None:
+        rng = np.random.default_rng(workload.seed + self.spec.sample_id)
+        if not kernel.fs.exists(self.model_path):
+            kernel.fs.write_file(
+                self.model_path,
+                Model({"encoder": rng.normal(size=(4, 4))}, architecture="cnn"),
+            )
+        for item in range(workload.items):
+            kernel.fs.write_file(
+                self.image_path(item),
+                rng.integers(0, 256, size=(16, 16)).astype(np.float64),
+            )
+
+    def run(self, gateway: ApiGateway, workload: Workload) -> AppResult:
+        result = AppResult()
+        gateway.host_alloc(self.record_tag, dict(self.record_value))
+        try:
+            model = gateway.call("pytorch", "load", self.model_path)
+        except FrameworkCrash:
+            result.crashes_survived += 1
+            model = None
+        findings = []
+        for item in range(workload.items):
+            try:
+                image = gateway.call("opencv", "imread", self.image_path(item))
+            except FrameworkCrash:
+                result.crashes_survived += 1
+                continue
+            smooth = gateway.call("opencv", "GaussianBlur", image)
+            features = gateway.call("pytorch", "Module_forward", smooth)
+            probabilities = gateway.call("pytorch", "softmax", features)
+            findings.append(gateway.materialize(probabilities).mean())
+            result.items_processed += 1
+        if model is not None:
+            gateway.call(
+                "pytorch", "save", model, f"/out/{self.spec.name}/model-out.pt"
+            )
+        result.outputs["findings"] = findings
+        result.outputs["record"] = gateway.host_read(self.record_tag)
+        return result
+
+
+class CtViewerApp(_ModelDrivenApp):
+    """The A.7 CT-image analyzer (patient record in host memory)."""
+    def __init__(self) -> None:
+        super().__init__(CT_SPEC)
+        self.record_value = {
+            "name": "Jane Roe", "age": 57, "phone": "555-0199",
+        }
+
+
+class InvoiceOcrApp(_ModelDrivenApp):
+    """The A.7 tax-invoice OCR program (taxpayer data in host memory)."""
+    model_path = INVOICE_MODEL_PATH
+    record_tag = INVOICE_TAG
+
+    def __init__(self) -> None:
+        super().__init__(INVOICE_SPEC)
+        self.record_value = {
+            "address": "1 Main St", "taxpayer_id": "TX-314159",
+            "bank_account": "DE00 1234 5678",
+        }

@@ -1,0 +1,205 @@
+"""OMRChecker — the motivating example (Section 3, Fig. 1).
+
+An auto-grader: it loads a *template* describing where the answer-mark
+boxes sit on the sheet, then for every submitted OMR image runs an
+OpenCV pre-processing chain, detects the marked answers, compares them
+with the teacher's master answers, annotates the sheet (the hot-loop
+``cv.rectangle``/``cv.putText`` calls of Fig. 4), shows the result, and
+appends a score row to the output CSV.
+
+Critical data (the attack targets of Fig. 1):
+
+* ``template.QBlocks.orig`` — answer-box coordinates, defined during
+  initialization, must be read-only from the first ``imread`` on;
+* ``OMRCrop`` — the current input image as seen by the host program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.apps.base import AppResult, AppSpec, ArgSpec, CallSite, PipelineApp, Workload
+from repro.core.apitypes import APIType
+from repro.core.gateway import ApiGateway
+from repro.errors import FrameworkCrash
+from repro.sim.kernel import SimKernel
+
+TEMPLATE_TAG = "template.QBlocks.orig"
+OMRCROP_TAG = "OMRCrop"
+ANSWERS_TAG = "answers"
+
+#: Answer-box coordinates (x, y, w, h) of the three questions.
+DEFAULT_TEMPLATE: List[List[int]] = [
+    [2, 2, 5, 5],
+    [12, 2, 5, 5],
+    [2, 12, 5, 5],
+]
+
+MASTER_ANSWERS: List[str] = ["A", "B", "C"]
+
+#: Dynamic repetitions of the two hot-loop annotation APIs per sheet
+#: (one rectangle + one label per answer box and per candidate mark).
+HOT_LOOP_REPEAT = 40
+
+
+def _omr_spec() -> AppSpec:
+    from repro.apps.suite import get_spec
+
+    return get_spec(8)
+
+
+def _build_omr_schedule(spec: AppSpec) -> List[CallSite]:
+    from repro.apps.catalog import build_schedule
+
+    schedule = build_schedule(spec)
+    hot = {"rectangle", "putText"}
+    return [
+        replace(site, repeat=HOT_LOOP_REPEAT)
+        if site.api in hot and site.api_type is APIType.PROCESSING
+        else site
+        for site in schedule
+    ]
+
+
+class OMRCheckerApp(PipelineApp):
+    """The hand-written motivating-example application."""
+
+    def __init__(self) -> None:
+        spec = _omr_spec()
+        super().__init__(spec, _build_omr_schedule(spec))
+
+    def csv_path(self) -> str:
+        return f"/out/{self.spec.name}/results.csv"
+
+    @property
+    def annotations(self) -> tuple:
+        from repro.sim.memory import MemoryLayout
+
+        return (
+            MemoryLayout(name="template", tag=TEMPLATE_TAG, nbytes=256,
+                         constructor="Template.__init__",
+                         accessors=("Template.boxes",)),
+            MemoryLayout(name="answers", tag=ANSWERS_TAG, nbytes=64,
+                         constructor="load_answer_key"),
+            MemoryLayout(name="omr_crop", tag=OMRCROP_TAG, nbytes=8192,
+                         constructor="imread",
+                         accessors=("Mat.data",)),
+        )
+
+    def setup(self, kernel: SimKernel, workload: Workload) -> None:
+        super().setup(kernel, workload)
+        rng = np.random.default_rng(workload.seed + 800)
+        for item in range(workload.items):
+            sheet = np.zeros((20, 20, 3), dtype=np.float64)
+            # Mark exactly the correct boxes brightly so grading is exact.
+            for x, y, w, h in DEFAULT_TEMPLATE:
+                sheet[y:y + h, x:x + w] = 255.0
+            sheet += rng.normal(scale=2.0, size=sheet.shape)
+            kernel.fs.write_file(self.input_path(item), sheet)
+
+    def run(self, gateway: ApiGateway, workload: Workload) -> AppResult:
+        result = AppResult()
+        # Initialization: the critical data lives in the host program.
+        gateway.host_alloc(TEMPLATE_TAG, [list(box) for box in DEFAULT_TEMPLATE])
+        gateway.host_alloc(ANSWERS_TAG, list(MASTER_ANSWERS))
+        rows: List[List[Any]] = [["sheet", "recognized", "score"]]
+
+        init_sites = [s for s in self.schedule if not s.loop]
+        loop_sites = [s for s in self.schedule if s.loop]
+        state: Dict[str, Any] = {"current": None, "classifier": None}
+        for index, site in enumerate(init_sites):
+            try:
+                self._execute_site(gateway, site, state, 0, index, result)
+            except FrameworkCrash:
+                result.crashes_survived += 1
+
+        omr_buffer_ready = False
+        for item in range(workload.items):
+            try:
+                sheet = gateway.call("opencv", "imread", self.input_path(item))
+            except FrameworkCrash:
+                result.crashes_survived += 1
+                continue
+            # The host program's view of the current input image.
+            if not omr_buffer_ready:
+                gateway.host_alloc(OMRCROP_TAG, sheet)
+                omr_buffer_ready = True
+            state["current"] = sheet
+
+            hot_sites = [s for s in loop_sites if s.repeat > 1]
+            pre_sites = [
+                s for s in loop_sites
+                if s.repeat == 1 and s.api_type in (APIType.LOADING,
+                                                    APIType.PROCESSING)
+            ]
+            post_sites = [
+                s for s in loop_sites
+                if s.repeat == 1 and s.api_type in (APIType.VISUALIZING,
+                                                    APIType.STORING)
+            ]
+            for index, site in enumerate(pre_sites):
+                if site.api == "imread" and site.argspec is ArgSpec.SOURCE_PATH:
+                    continue  # the explicit imread above is this site
+                try:
+                    self._execute_site(gateway, site, state, item, index, result)
+                except FrameworkCrash:
+                    result.crashes_survived += 1
+
+            # The hot loop of Fig. 4: per answer box, draw a rectangle and
+            # stamp a label on the *full-size* sheet.  The two APIs
+            # alternate and share the whole image — which is why
+            # splitting them into different partitions is so expensive.
+            annotated = sheet
+            for _ in range(HOT_LOOP_REPEAT):
+                for site in hot_sites:
+                    try:
+                        annotated = gateway.call(
+                            "opencv", site.api, annotated
+                        ) or annotated
+                    except FrameworkCrash:
+                        result.crashes_survived += 1
+            state["current"] = annotated
+
+            # Present and persist the annotated sheet.
+            for index, site in enumerate(post_sites):
+                try:
+                    self._execute_site(gateway, site, state, item, index, result)
+                except FrameworkCrash:
+                    result.crashes_survived += 1
+
+            score, recognized = self._grade(gateway, item)
+            rows.append([item, recognized, score])
+            result.items_processed += 1
+
+        gateway.host_write_file(self.csv_path(), rows)
+        result.outputs["csv"] = rows
+        return result
+
+    def _grade(self, gateway: ApiGateway, item: int) -> Any:
+        """Compare detected marks against the template's answer boxes."""
+        template = gateway.host_read(TEMPLATE_TAG)
+        answers = gateway.host_read(ANSWERS_TAG)
+        sheet = gateway.materialize(
+            gateway.call("opencv", "imread", self.input_path(item))
+        )
+        gray = np.asarray(sheet, dtype=np.float64)
+        if gray.ndim == 3:
+            gray = gray.mean(axis=2)
+        recognized: List[str] = []
+        score = 0
+        for box, answer in zip(template, answers):
+            x, y, w, h = box
+            region = gray[y:y + h, x:x + w]
+            marked = bool(region.size) and float(region.mean()) > 128.0
+            recognized.append(answer if marked else "?")
+            if marked:
+                score += 1
+        return score, "".join(recognized)
+
+
+def read_scores(kernel: SimKernel, app: OMRCheckerApp) -> List[List[Any]]:
+    """The grades the run produced (for attack-impact assertions)."""
+    return kernel.fs.read_file(app.csv_path())

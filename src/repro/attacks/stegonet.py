@@ -1,0 +1,96 @@
+"""The StegoNet trojan-model case study (Appendix A.7).
+
+StegoNet hides a malicious payload in DNN model parameters; the payload
+(the paper uses a fork bomb) executes when the model is loaded/used.
+Since no data-processing API in any supported framework requires
+``fork``, FreePart's per-agent syscall restriction kills the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.base import Application, Workload, execute_app
+from repro.attacks.exploits import ExploitOutcome, ForkBombExploit
+from repro.attacks.payloads import CraftedInput
+from repro.attacks.scenarios import build_gateway
+from repro.core.runtime import FreePartConfig
+from repro.frameworks.base import Model
+from repro.sim.kernel import SimKernel
+
+#: Synthetic identifier for the trojan (StegoNet is a technique, not a CVE).
+STEGONET_ID = "STEGONET-TROJAN"
+
+
+def trojaned_model(seed: int = 2020) -> Model:
+    """A model whose weights smuggle a fork-bomb payload."""
+    rng = np.random.default_rng(seed)
+    trojan = CraftedInput(
+        cve_id=STEGONET_ID, exploit=ForkBombExploit(),
+        cover=rng.normal(size=(2, 2)),
+    )
+    return Model(
+        {"encoder": rng.normal(size=(4, 4))},
+        architecture="stegonet-cnn",
+        trojan=trojan,
+    )
+
+
+@dataclass
+class StegonetResult:
+    """Outcome of loading + using a trojaned model under a technique."""
+
+    technique: str
+    app_name: str
+    trojan_fired: bool
+    fork_bomb_detonated: bool
+    record_intact: bool
+    outcomes: List[ExploitOutcome]
+
+    @property
+    def prevented(self) -> bool:
+        return self.trojan_fired and not self.fork_bomb_detonated
+
+
+def run_stegonet_attack(
+    app: Application,
+    technique: str = "freepart",
+    workload: Optional[Workload] = None,
+    config: Optional[FreePartConfig] = None,
+) -> StegonetResult:
+    """Plant a trojaned model, run the app, and see what detonates.
+
+    The trojan fires inside whatever process executes the model-loading
+    API (``torch.load``): the host program without isolation, the
+    loading agent under FreePart.
+    """
+    workload = workload if workload is not None else Workload(items=2, image_size=16)
+    kernel = SimKernel()
+    gateway = build_gateway(technique, kernel, app=app, config=config)
+    app.setup(kernel, workload)
+
+    model = trojaned_model()
+    model_path = getattr(app, "model_path", "/models/trojaned.pt")
+    # torch.load scans the deserialized payload; expose the trojan as the
+    # crafted object the loader's guard sees.
+    kernel.fs.write_file(model_path, model.trojan)
+
+    report = execute_app(app, gateway, workload, setup=False)
+    trojan = model.trojan
+    record_intact = True
+    record_tag = getattr(app, "record_tag", None)
+    expected_record = getattr(app, "record_value", None)
+    if record_tag and expected_record is not None and report.result is not None:
+        record = report.result.outputs.get("record")
+        record_intact = record == expected_record
+    return StegonetResult(
+        technique=technique,
+        app_name=app.spec.name,
+        trojan_fired=trojan.fired,
+        fork_bomb_detonated=bool(getattr(kernel, "fork_bomb_detonated", False)),
+        record_intact=record_intact,
+        outcomes=list(trojan.outcomes),
+    )

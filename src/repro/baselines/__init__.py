@@ -1,0 +1,52 @@
+"""The five prior isolation techniques FreePart is compared against.
+
+``TECHNIQUES`` maps the Table 1 row keys to gateway factories; each
+factory takes a :class:`~repro.sim.kernel.SimKernel` and returns a fresh
+gateway, so the evaluation harness can run the same application under
+every technique.
+"""
+
+from typing import Callable, Dict
+
+from repro.baselines.base import Partitioned, TechniqueInfo
+from repro.baselines.code_api import CodeApiIsolation
+from repro.baselines.code_api_data import CodeApiDataIsolation
+from repro.baselines.lib_entire import EntireLibraryIsolation
+from repro.baselines.lib_individual import IndividualApiIsolation
+from repro.baselines.memory_based import MemoryBasedIsolation
+from repro.core.gateway import ApiGateway, NativeGateway
+from repro.sim.kernel import SimKernel
+
+GatewayFactory = Callable[[SimKernel], ApiGateway]
+
+TECHNIQUES: Dict[str, GatewayFactory] = {
+    "none": NativeGateway,
+    "code_api": CodeApiIsolation,
+    "code_api_data": CodeApiDataIsolation,
+    "lib_entire": EntireLibraryIsolation,
+    "lib_individual": IndividualApiIsolation,
+    "memory_based": MemoryBasedIsolation,
+}
+
+TECHNIQUE_LABELS = {
+    "none": "No isolation",
+    "code_api": "Code-based API isolation",
+    "code_api_data": "Code-based API and data isolation",
+    "lib_entire": "Library-based (entire library)",
+    "lib_individual": "Library-based (individual APIs)",
+    "memory_based": "Memory-based isolation",
+    "freepart": "FreePart",
+}
+
+__all__ = [
+    "CodeApiDataIsolation",
+    "CodeApiIsolation",
+    "EntireLibraryIsolation",
+    "GatewayFactory",
+    "IndividualApiIsolation",
+    "MemoryBasedIsolation",
+    "Partitioned",
+    "TECHNIQUES",
+    "TECHNIQUE_LABELS",
+    "TechniqueInfo",
+]

@@ -1,0 +1,61 @@
+"""Library-based isolation of the entire library (Fig. 2-c, Cali/RLBox).
+
+Two processes: the host application and one library process that runs
+*every* framework API.  Variables flowing between APIs are shared with
+the library process via shared memory, so the per-call data traffic is
+nearly zero — but a single exploited API compromises every other API and
+every shared variable, and the union of syscalls needed by all API types
+is so broad that syscall restriction is ineffective (footnote 3 of the
+paper), so the permissive filter below is the honest model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.baselines.base import Partitioned, TechniqueInfo
+from repro.frameworks.base import FrameworkAPI
+
+
+class EntireLibraryIsolation(Partitioned):
+    """One process for the whole library, shared-memory data plane."""
+
+    info = TechniqueInfo(
+        key="lib_entire", label="Library-based isolation (entire library)",
+        figure="2-c",
+    )
+
+    # Shared memory: object arguments/results are not copied per call.
+    eager_data_copies = False
+
+    def _partition_key(self, api: FrameworkAPI) -> Optional[str]:
+        return "library"
+
+    def library_process(self):
+        return self._worker("library")
+
+    def host_alloc(self, tag: str, payload: Any):
+        """Variables the library operates on are mapped into the shared
+        segment (i.e. visible from the library process); scalar host state
+        stays private to the application."""
+        from repro.frameworks.base import DataObject
+
+        if isinstance(payload, DataObject):
+            library = self.library_process()
+            buffer = library.memory.alloc_object(payload, tag=tag)
+            self._host_buffers[tag] = buffer.buffer_id
+            self._shared_tags = getattr(self, "_shared_tags", set())
+            self._shared_tags.add(tag)
+            return buffer
+        return super().host_alloc(tag, payload)
+
+    def host_read(self, tag: str) -> Any:
+        if tag in getattr(self, "_shared_tags", set()):
+            return self.library_process().memory.load(self._host_buffer_id(tag))
+        return super().host_read(tag)
+
+    def host_write(self, tag: str, payload: Any) -> None:
+        if tag in getattr(self, "_shared_tags", set()):
+            self.library_process().memory.store(self._host_buffer_id(tag), payload)
+            return
+        super().host_write(tag, payload)

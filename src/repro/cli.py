@@ -1,0 +1,247 @@
+"""Command-line interface: drive the reproduction's experiments.
+
+::
+
+    python -m repro apps                         # Table 6 roster
+    python -m repro categorize opencv            # hybrid-analysis verdicts
+    python -m repro syscalls                     # Table 7 allowlists
+    python -m repro overhead --samples 1,8,16    # Fig. 13 rows
+    python -m repro attack CVE-2017-12597        # one exploit, both modes
+    python -m repro motivating --technique none  # Table 1 row
+    python -m repro studies                      # Table 3 + Fig. 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    from repro.apps.suite import SAMPLE_IDS, make_app
+    from repro.bench.tables import render_table
+    from repro.core.apitypes import APIType
+
+    rows = []
+    for sample_id in SAMPLE_IDS:
+        app = make_app(sample_id)
+        counts = app.schedule_counts()
+
+        def cell(api_type):
+            got = counts.get(api_type)
+            return f"{got.unique}/{got.total}" if got else "0/0"
+
+        rows.append([
+            sample_id, app.spec.name, app.spec.main_framework,
+            cell(APIType.LOADING), cell(APIType.PROCESSING),
+            cell(APIType.VISUALIZING), cell(APIType.STORING),
+            app.spec.description,
+        ])
+    print(render_table(
+        "Evaluation applications (Table 6)",
+        ["id", "name", "framework", "load", "proc", "vis", "store",
+         "description"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_categorize(args: argparse.Namespace) -> int:
+    from repro.bench.tables import render_table
+    from repro.core.hybrid import HybridAnalyzer
+    from repro.frameworks.registry import get_framework
+
+    framework = get_framework(args.framework)
+    categorization = HybridAnalyzer().categorize_framework(framework)
+    if args.verbose:
+        rows = [
+            [e.qualname, e.api_type.value, e.method,
+             "neutral" if e.neutral else ""]
+            for e in categorization.entries.values()
+        ]
+        print(render_table(
+            f"Hybrid categorization of {framework.name}",
+            ["API", "type", "method", ""],
+            rows,
+        ))
+    counts = categorization.counts_by_type()
+    summary = [[t.value, n] for t, n in counts.items() if n]
+    summary.append(["accuracy", f"{categorization.accuracy() * 100:.1f}%"])
+    print(render_table(
+        f"{framework.name}: {len(categorization)} APIs categorized",
+        ["type", "count"], summary,
+    ))
+    return 0
+
+
+def _cmd_syscalls(args: argparse.Namespace) -> int:
+    from repro.core.policy import policy_report
+
+    report = policy_report()
+    for row in report.format_rows():
+        print(row)
+    return 0
+
+
+def _parse_samples(text: Optional[str]) -> Sequence[int]:
+    from repro.apps.suite import SAMPLE_IDS
+
+    if not text:
+        return SAMPLE_IDS
+    return [int(part) for part in text.split(",") if part]
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.apps.base import Workload
+    from repro.bench.runner import average_overhead, overhead_sweep
+    from repro.bench.tables import render_table
+    from repro.core.runtime import FreePartConfig
+
+    workload = Workload(items=args.items, image_size=args.image_size)
+    config = FreePartConfig(ldc=not args.no_ldc)
+    rows = overhead_sweep(_parse_samples(args.samples), workload=workload,
+                          config=config)
+    table = [[r.sample_id, r.app_name, f"{r.overhead_percent:.2f}%"]
+             for r in rows]
+    table.append(["-", "AVERAGE", f"{average_overhead(rows):.2f}%"])
+    print(render_table(
+        "FreePart runtime overhead (Fig. 13)"
+        + (" — lazy data copy DISABLED" if args.no_ldc else ""),
+        ["id", "application", "overhead"], table,
+    ))
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attacks.scenarios import run_attack
+    from repro.bench.tables import render_table
+
+    techniques = (
+        [args.technique] if args.technique else ["none", "freepart"]
+    )
+    rows = []
+    for technique in techniques:
+        result = run_attack(args.cve, technique=technique,
+                            sample_id=args.sample)
+        rows.append([
+            technique, result.app_name, result.vuln_type.value,
+            "prevented" if result.prevented else "SUCCEEDED",
+            "/".join(result.blocked_by) or "-",
+        ])
+    print(render_table(
+        f"Attack: {args.cve}",
+        ["technique", "app", "class", "outcome", "blocked by"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_motivating(args: argparse.Namespace) -> int:
+    from repro.attacks.scenarios import run_motivating_example
+    from repro.bench.tables import render_table
+
+    verdict = run_motivating_example(args.technique)
+    rows = [
+        [label, "prevented" if result.prevented else "FAILED",
+         "/".join(result.blocked_by) or "-"]
+        for label, result in verdict.attacks.items()
+    ]
+    print(render_table(
+        f"Motivating example under {args.technique!r} (Table 1 row)",
+        ["attack", "outcome", "blocked by"], rows,
+    ))
+    return 0
+
+
+def _cmd_studies(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        build_cve_corpus,
+        build_usage_corpus,
+        counts_by_api_type,
+        framework_totals,
+        table3_totals,
+    )
+    from repro.bench.tables import render_table
+    from repro.core.apitypes import APIType
+
+    cves = build_cve_corpus()
+    print(render_table(
+        "Study 2 — 241 CVEs",
+        ["framework", "CVEs"],
+        sorted(framework_totals(cves).items(), key=lambda kv: -kv[1]),
+    ))
+    print()
+    print(render_table(
+        "Study 2 — CVEs by pipeline task",
+        ["task", "CVEs"],
+        [[t.value, n] for t, n in counts_by_api_type(cves).items() if n],
+    ))
+    print()
+    totals = table3_totals(build_usage_corpus())
+    print(render_table(
+        "Study 1 — vulnerable APIs per app (Table 3 totals: avg/max/distinct)",
+        ["type", "avg", "max", "distinct"],
+        [[t.value, f"{c.average:.1f}", c.maximum, c.total_distinct]
+         for t, c in totals.items()],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FreePart reproduction — experiment driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the 23 evaluation applications")
+
+    p = sub.add_parser("categorize", help="hybrid-categorize a framework")
+    p.add_argument("framework")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print every API's verdict")
+
+    sub.add_parser("syscalls", help="Table 7 per-type allowlists")
+
+    p = sub.add_parser("overhead", help="Fig. 13 overhead rows")
+    p.add_argument("--samples", help="comma-separated sample ids (default all)")
+    p.add_argument("--items", type=int, default=2)
+    p.add_argument("--image-size", type=int, default=16)
+    p.add_argument("--no-ldc", action="store_true",
+                   help="disable lazy data copy (Section 5.2 ablation)")
+
+    p = sub.add_parser("attack", help="run one CVE's exploit")
+    p.add_argument("cve")
+    p.add_argument("--technique",
+                   help="one technique (default: none AND freepart)")
+    p.add_argument("--sample", type=int, default=None)
+
+    p = sub.add_parser("motivating",
+                       help="the Section 3 attacks under one technique")
+    p.add_argument("--technique", default="freepart")
+
+    sub.add_parser("studies", help="Study 1 + Study 2 aggregates")
+    return parser
+
+
+_HANDLERS = {
+    "apps": _cmd_apps,
+    "categorize": _cmd_categorize,
+    "syscalls": _cmd_syscalls,
+    "overhead": _cmd_overhead,
+    "attack": _cmd_attack,
+    "motivating": _cmd_motivating,
+    "studies": _cmd_studies,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,239 @@
+"""Agent processes (Sections 4.3.1 and 4.4.2).
+
+One :class:`AgentProcess` hosts all framework APIs of one partition.  It
+owns a simulated process with a sealed seccomp filter, an object store
+for lazy-data-copy references, an IPC channel pair to the host program,
+and the restart machinery: when the process crashes (exploit, seccomp
+kill, segfault) the kernel replaces it with a fresh process and the old
+object store becomes stale — the paper intentionally does *not* restore a
+crashed process's variables.
+
+Stateful APIs (Appendix A.2.4) are checkpointed periodically so the
+at-least-once re-execution after a restart can resume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.partitioner import Partition
+from repro.core.rpc import ObjectRef, ObjectStore, RpcRequest, RpcResponse, SequenceTracker
+from repro.errors import AgentUnavailable, StaleObjectRef
+from repro.frameworks.base import (
+    DataObject,
+    ExecutionContext,
+    FrameworkAPI,
+    StatefulKind,
+)
+from repro.sim.filters import FilterSpec
+from repro.sim.ipc import ChannelPair
+from repro.sim.kernel import SimKernel
+from repro.sim.process import SimProcess
+
+#: How many stateful-API invocations pass between two checkpoints.
+CHECKPOINT_INTERVAL = 16
+
+RefResolver = Callable[[ObjectRef], Any]
+
+
+@dataclass
+class AgentStats:
+    requests: int = 0
+    restarts: int = 0
+    crashes: int = 0
+    stateful_calls: int = 0
+    checkpoints: int = 0
+    restored_from_checkpoint: int = 0
+
+
+class AgentProcess:
+    """One isolated agent process executing a partition's APIs."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        partition: Partition,
+        filter_spec: Optional[FilterSpec] = None,
+        restrict_syscalls: bool = True,
+        max_restarts: Optional[int] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.partition = partition
+        self.filter_spec = filter_spec
+        self.restrict_syscalls = restrict_syscalls
+        self.max_restarts = max_restarts
+        self.stats = AgentStats()
+        self.sequence = SequenceTracker()
+        self._checkpoint: Dict[str, int] = {}
+        #: Snapshot of the process's stateful-API internal state, taken
+        #: every CHECKPOINT_INTERVAL stateful calls (Appendix A.2.4).
+        self._checkpoint_state: Dict[str, Any] = {}
+        #: Foreign objects already copied into this process: the lazy copy
+        #: happens once per object, later dereferences are local reads.
+        self._resident: Dict[Tuple[int, int, int], Any] = {}
+        self.process = self._spawn()
+        self.store = ObjectStore(self.process)
+        self.ctx = ExecutionContext(kernel, self.process)
+        # Channel names carry the pid so per-thread agent sets (Section 6)
+        # never share a ring buffer.
+        self.channel: ChannelPair = kernel.channel_pair(
+            f"agent-{partition.index}-{partition.label}-{self.process.pid}"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _build_filter(self):
+        if not self.restrict_syscalls or self.filter_spec is None:
+            return None
+        built = self.filter_spec.build()
+        built.seal()
+        return built
+
+    def _spawn(self) -> SimProcess:
+        return self.kernel.spawn(
+            name=f"agent:{self.partition.label}",
+            syscall_filter=self._build_filter(),
+            role="agent",
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self.process.alive
+
+    def restart(self) -> None:
+        """Replace a crashed process; variables are *not* restored.
+
+        Raises :class:`AgentUnavailable` once the restart budget is
+        spent — the anti-crash-loop guard for availability-first setups.
+        """
+        if self.max_restarts is not None and self.stats.restarts >= self.max_restarts:
+            raise AgentUnavailable(
+                f"agent {self.partition.label!r} exceeded its restart "
+                f"budget ({self.max_restarts})"
+            )
+        replacement = self.kernel.restart(
+            self.process,
+            filter_spec=self.filter_spec if self.restrict_syscalls else None,
+        )
+        self.process = replacement
+        self.store = ObjectStore(replacement)
+        self.ctx = ExecutionContext(self.kernel, replacement)
+        self._resident.clear()  # the old address space is gone
+        self.stats.restarts += 1
+        if self._checkpoint_state or self._checkpoint:
+            # Stateful APIs resume from the last periodic checkpoint; any
+            # progress since then is re-executed (at-least-once).
+            replacement.framework_state.update(self._checkpoint_state)
+            self.stats.restored_from_checkpoint += 1
+
+    def require_alive(self) -> None:
+        """Raise AgentUnavailable if the process crashed."""
+        if not self.process.alive:
+            raise AgentUnavailable(
+                f"agent {self.partition.label!r} (pid {self.process.pid}) crashed"
+            )
+
+    def end_init_phase(self) -> None:
+        """Close the seccomp init grace phase."""
+        self.process.filter.end_init_phase()
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        api: FrameworkAPI,
+        request: RpcRequest,
+        resolve_ref: RefResolver,
+        ldc: bool,
+    ) -> RpcResponse:
+        """Run one API request inside this agent's process."""
+        self.require_alive()
+        self.sequence.record_execution(request.seq)
+        self.stats.requests += 1
+        args = tuple(
+            self._materialize(value, resolve_ref, request.state_label)
+            for value in request.args
+        )
+        kwargs = {
+            key: self._materialize(value, resolve_ref, request.state_label)
+            for key, value in request.kwargs
+        }
+        self.ctx.state_label = request.state_label
+        result = self.ctx.invoke(api, *args, **kwargs)
+        self._track_statefulness(api)
+        if ldc and isinstance(result, DataObject):
+            ref = self.store.register(
+                result, state_label=request.state_label, tag=api.spec.qualname
+            )
+            return RpcResponse(seq=request.seq, value=ref)
+        return RpcResponse(seq=request.seq, value=result)
+
+    def _materialize(
+        self, value: Any, resolve_ref: RefResolver, state_label: str
+    ) -> Any:
+        """Dereference an ObjectRef argument (the lazy copy, Fig. 11)."""
+        if isinstance(value, (list, tuple)):
+            resolved = [
+                self._materialize(item, resolve_ref, state_label)
+                for item in value
+            ]
+            return type(value)(resolved) if isinstance(value, tuple) else resolved
+        if not isinstance(value, ObjectRef):
+            return value
+        if (
+            value.owner_pid == self.process.pid
+            and value.owner_generation == self.process.generation
+        ):
+            # Already resident: the reference chain collapsed to zero copies.
+            return self.store.fetch(value)
+        key = (value.owner_pid, value.owner_generation, value.buffer_id)
+        if key in self._resident:
+            # Copied on an earlier dereference; now a local read.
+            return self._resident[key]
+        payload = resolve_ref(value)
+        source = self.kernel.process(value.owner_pid)
+        self.kernel.transfer(
+            source,
+            self.process,
+            payload,
+            tag=f"ldc:{value.kind}",
+            origin_state=state_label,
+            lazy=True,
+            count_message=False,
+        )
+        self._resident[key] = payload
+        return payload
+
+    def fetch_local(self, ref: ObjectRef) -> Any:
+        """Read an object this agent owns (used by the runtime resolver)."""
+        return self.store.fetch(ref)
+
+    def _track_statefulness(self, api: FrameworkAPI) -> None:
+        if api.spec.stateful is not StatefulKind.DATA_STATE:
+            return
+        self.stats.stateful_calls += 1
+        key = api.spec.qualname
+        self._checkpoint[key] = self._checkpoint.get(key, 0) + 1
+        if self.stats.stateful_calls % CHECKPOINT_INTERVAL == 0:
+            self._take_checkpoint()
+
+    def _take_checkpoint(self) -> None:
+        """Periodically persist stateful-API state (Appendix A.2.4)."""
+        import copy as _copy
+
+        cost = self.kernel.clock.cost_model
+        self._checkpoint_state = _copy.deepcopy(self.process.framework_state)
+        state_bytes = 256 * max(
+            len(self._checkpoint) + len(self._checkpoint_state), 1
+        )
+        self.kernel.clock.advance(int(cost.checkpoint_ns_per_byte * state_bytes))
+        self.stats.checkpoints += 1
+
+    @property
+    def checkpointed_state(self) -> Dict[str, int]:
+        return dict(self._checkpoint)

@@ -1,0 +1,141 @@
+"""Hybrid API categorization (Section 4.2): static first, dynamic fallback.
+
+The driver runs the static analyzer over every API; wherever the static
+walk is incomplete (indirect calls) or inconclusive, the dynamic tracer
+resolves the category.  The result also carries each API's syscall
+profile (declared steady-state + init-only syscalls, verified against the
+dynamic trace) — the input to the syscall-restriction policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.apitypes import APIType
+from repro.core.dynamic_analysis import DynamicAnalyzer, DynamicResult
+from repro.core.static_analysis import StaticAnalyzer, StaticResult
+from repro.errors import UncategorizableAPI
+from repro.frameworks.base import FrameworkAPI, StatefulKind
+
+
+@dataclass(frozen=True)
+class CategorizedAPI:
+    """One API's hybrid-analysis verdict."""
+
+    qualname: str
+    framework: str
+    name: str
+    api_type: APIType
+    method: str  # "static" | "dynamic"
+    neutral: bool
+    stateful: StatefulKind
+    syscalls: Tuple[str, ...]
+    init_syscalls: Tuple[str, ...]
+    covered: bool
+    matches_ground_truth: bool
+
+
+@dataclass
+class Categorization:
+    """The full categorization of a set of APIs."""
+
+    entries: Dict[str, CategorizedAPI] = field(default_factory=dict)
+
+    def add(self, entry: CategorizedAPI) -> None:
+        self.entries[entry.qualname] = entry
+
+    def get(self, qualname: str) -> CategorizedAPI:
+        try:
+            return self.entries[qualname]
+        except KeyError:
+            raise UncategorizableAPI(
+                f"{qualname} was not part of the analyzed API set"
+            ) from None
+
+    def __contains__(self, qualname: str) -> bool:
+        return qualname in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def of_type(self, api_type: APIType, include_neutral: bool = False) -> List[CategorizedAPI]:
+        return [
+            e for e in self.entries.values()
+            if e.api_type is api_type and (include_neutral or not e.neutral)
+        ]
+
+    def neutrals(self) -> List[CategorizedAPI]:
+        return [e for e in self.entries.values() if e.neutral]
+
+    def counts_by_type(self) -> Dict[APIType, int]:
+        counts = {t: 0 for t in APIType}
+        for entry in self.entries.values():
+            counts[entry.api_type] += 1
+        return counts
+
+    def accuracy(self) -> float:
+        """Fraction of APIs whose verdict matches the spec ground truth."""
+        if not self.entries:
+            return 1.0
+        good = sum(1 for e in self.entries.values() if e.matches_ground_truth)
+        return good / len(self.entries)
+
+    def by_method(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.entries.values():
+            counts[entry.method] = counts.get(entry.method, 0) + 1
+        return counts
+
+
+class HybridAnalyzer:
+    """Static-then-dynamic categorizer (Fig. 5, offline phase)."""
+
+    def __init__(self, dynamic: Optional[DynamicAnalyzer] = None) -> None:
+        self.static = StaticAnalyzer()
+        self.dynamic = dynamic if dynamic is not None else DynamicAnalyzer()
+
+    def categorize_api(self, api: FrameworkAPI) -> CategorizedAPI:
+        spec = api.spec
+        static_result = self.static.analyze(spec)
+        method = "static"
+        category = static_result.category
+        dynamic_result: Optional[DynamicResult] = None
+        if static_result.needs_dynamic:
+            dynamic_result = self.dynamic.analyze(api)
+            if dynamic_result.covered and dynamic_result.category is not None:
+                category = dynamic_result.category
+                method = "dynamic"
+        if category is None:
+            raise UncategorizableAPI(
+                f"{spec.qualname}: static walk "
+                f"{'incomplete' if not static_result.complete else 'inconclusive'}"
+                " and no dynamic test case resolves it"
+            )
+        return CategorizedAPI(
+            qualname=spec.qualname,
+            framework=spec.framework,
+            name=spec.name,
+            api_type=category,
+            method=method,
+            neutral=spec.neutral,
+            stateful=spec.stateful,
+            syscalls=spec.syscalls,
+            init_syscalls=spec.init_syscalls,
+            covered=spec.has_test_case,
+            matches_ground_truth=category is spec.ground_truth,
+        )
+
+    def categorize(self, apis: Iterable[FrameworkAPI]) -> Categorization:
+        result = Categorization()
+        for api in apis:
+            result.add(self.categorize_api(api))
+        return result
+
+    def categorize_framework(self, framework) -> Categorization:
+        return self.categorize(list(framework))
+
+
+def categorize_used_apis(apis: Sequence[FrameworkAPI]) -> Categorization:
+    """Convenience wrapper used by the runtime's offline phase."""
+    return HybridAnalyzer().categorize(apis)

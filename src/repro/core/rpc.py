@@ -1,0 +1,169 @@
+"""RPC message model and object references (Sections 4.3, 4.3.2).
+
+FreePart's API hooking is a remote procedure call with *exactly-once*
+semantics for live agents; restarted agents downgrade to *at-least-once*
+(Section 4.4.2).  The lazy-data-copy optimization replaces bulk payloads
+with :class:`ObjectRef` values — (owning process, buffer id) pairs, the
+paper's "origin" of an object's data — that agents dereference on first
+use, copying directly from the owning process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StaleObjectRef
+
+#: Simulated wire size of a reference (pid + buffer id + metadata).
+REF_WIRE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """A reference to a data object living in another process."""
+
+    owner_pid: int
+    owner_generation: int
+    buffer_id: int
+    payload_bytes: int
+    kind: str = "object"
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size: a reference carries no data (LDC's whole point)."""
+        return REF_WIRE_BYTES
+
+
+class RemoteHandle:
+    """The host program's opaque view of a remote data object.
+
+    Host code passes handles onwards to other framework APIs; the runtime
+    resolves them back to :class:`ObjectRef` values.  Dereferencing the
+    data in the host requires an explicit ``gateway.materialize`` (which
+    is what makes host-side dereferences rare and the lazy fraction high).
+    """
+
+    __slots__ = ("ref",)
+
+    def __init__(self, ref: ObjectRef) -> None:
+        self.ref = ref
+
+    @property
+    def nbytes(self) -> int:
+        return REF_WIRE_BYTES
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.ref.payload_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteHandle(pid={self.ref.owner_pid}, "
+            f"buf={self.ref.buffer_id}, {self.ref.payload_bytes}B)"
+        )
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    """One API-execution request (Fig. 10's ``request()``)."""
+
+    seq: int
+    api_qualname: str
+    args: Tuple[Any, ...]
+    kwargs: Tuple[Tuple[str, Any], ...]
+    state_label: str
+
+    @property
+    def nbytes(self) -> int:
+        from repro.sim.memory import payload_nbytes
+
+        total = 96  # header: seq + ids + state
+        for value in self.args:
+            total += payload_nbytes(value)
+        for _, value in self.kwargs:
+            total += payload_nbytes(value)
+        return total
+
+
+@dataclass(frozen=True)
+class RpcResponse:
+    """The result (or error) of one request (``agent_ret()``)."""
+
+    seq: int
+    value: Any = None
+    error: Optional[str] = None
+
+    @property
+    def nbytes(self) -> int:
+        from repro.sim.memory import payload_nbytes
+
+        return 64 + payload_nbytes(self.value)
+
+
+class SequenceTracker:
+    """Enforces exactly-once delivery per channel.
+
+    The cooperative simulation cannot duplicate messages, but the tracker
+    still asserts the invariant (each sequence number executed at most
+    once, in order) so regressions in the RPC layer are caught, and it
+    exposes the retry counter used by at-least-once re-execution after a
+    restart.
+    """
+
+    def __init__(self) -> None:
+        self._seq = itertools.count(1)
+        self.executed: Dict[int, int] = {}
+        self.retries = 0
+
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    def record_execution(self, seq: int) -> None:
+        count = self.executed.get(seq, 0)
+        if count >= 1:
+            self.retries += 1
+        self.executed[seq] = count + 1
+
+    def executions_of(self, seq: int) -> int:
+        return self.executed.get(seq, 0)
+
+    @property
+    def exactly_once(self) -> bool:
+        return all(count == 1 for count in self.executed.values())
+
+
+class ObjectStore:
+    """Per-process registry of live data objects exposed through refs."""
+
+    def __init__(self, process) -> None:
+        self.process = process
+
+    def register(self, payload: Any, state_label: str, tag: str = "") -> ObjectRef:
+        """Allocate the payload in the owning process and hand out a ref."""
+        from repro.sim.memory import payload_nbytes
+
+        buffer = self.process.memory.alloc_object(
+            payload, tag=tag or "rpc-object", origin_state=state_label
+        )
+        return ObjectRef(
+            owner_pid=self.process.pid,
+            owner_generation=self.process.generation,
+            buffer_id=buffer.buffer_id,
+            payload_bytes=payload_nbytes(payload),
+            kind=getattr(payload, "kind", type(payload).__name__),
+        )
+
+    def fetch(self, ref: ObjectRef) -> Any:
+        """Read a locally owned object (no copy)."""
+        if ref.owner_pid != self.process.pid:
+            raise StaleObjectRef(
+                f"ref owned by pid {ref.owner_pid}, store is pid {self.process.pid}"
+            )
+        if ref.owner_generation != self.process.generation:
+            raise StaleObjectRef(
+                f"ref generation {ref.owner_generation} predates restart "
+                f"(current generation {self.process.generation})"
+            )
+        return self.process.memory.load(ref.buffer_id)

@@ -1,0 +1,532 @@
+"""The FreePart runtime (Fig. 5): offline analysis → online enforcement.
+
+:class:`FreePart` is the façade a user points at their application: it
+runs the hybrid analysis over the framework APIs the program uses, builds
+the partition plan and per-agent syscall filters, spawns the host and
+agent processes, and returns a :class:`FreePartGateway` through which the
+(unmodified) application code runs hooked.
+
+Online, every framework API call becomes an RPC to the agent of its type,
+the framework state machine advances and enforces temporal read-only
+permissions, and lazy data copy keeps object payloads out of the host
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.agent import AgentProcess
+from repro.core.apitypes import APIType, FrameworkState, api_type_of_state
+from repro.core.gateway import ApiGateway, CallRecord
+from repro.core.hybrid import Categorization, HybridAnalyzer
+from repro.core.partitioner import (
+    PartitionPlan,
+    four_way_plan,
+    split_processing_plan,
+    sub_partition_plan,
+)
+from repro.core.policy import filter_spec_for_partition, filter_specs_for_plan
+from repro.core.rpc import ObjectRef, ObjectStore, RemoteHandle, RpcRequest
+from repro.core.statemachine import TemporalStateMachine
+from repro.errors import (
+    AgentUnavailable,
+    AnnotationError,
+    FrameworkCrash,
+    ProcessCrashed,
+    SegmentationFault,
+    StaleObjectRef,
+    SyscallDenied,
+)
+from repro.frameworks.base import DataObject, FrameworkAPI
+from repro.frameworks.registry import iter_apis
+from repro.sim.kernel import SimKernel
+from repro.sim.memory import Buffer, MemoryLayout
+from repro.sim.process import SimProcess
+
+
+@dataclass(frozen=True)
+class FreePartConfig:
+    """Tunables of the runtime (each maps to a paper mechanism).
+
+    ``ldc``
+        Lazy data copy (Section 4.3.2).  Disabling it reproduces the 9.7%
+        ablation of Section 5.2.
+    ``restart_agents``
+        Agent restart on crash (Section 4.4.2).  Users prioritizing
+        security over availability can opt out.
+    ``enforce_permissions``
+        Temporal read-only enforcement (Section 4.4.3 / Fig. 3).
+    ``restrict_syscalls``
+        Per-agent seccomp allowlists (Section 4.4.1).
+    ``partition_count``
+        4 = the paper's default; >4 randomly splits the processing agent
+        (the Fig. 4 sweep).
+    ``strict_annotations``
+        Require a :class:`MemoryLayout` annotation for every custom host
+        data structure (the paper requires users to define the layout of
+        protected custom data).
+    ``subpartitions``
+        Manual finer-grained agent splits (Appendix A.6); mutually
+        exclusive with ``partition_count > 4``.
+    """
+
+    ldc: bool = True
+    restart_agents: bool = True
+    enforce_permissions: bool = True
+    restrict_syscalls: bool = True
+    widen_to_pool: bool = True
+    partition_count: int = 4
+    partition_seed: int = 0
+    strict_annotations: bool = False
+    annotations: Tuple[MemoryLayout, ...] = ()
+    #: Manual sub-partitioning (Appendix A.6): api_type -> groups of
+    #: qualnames, each group its own agent.  Sub-partitioned agents get
+    #: *tight* (un-widened) filters — the finer-grained restriction the
+    #: appendix discusses.
+    subpartitions: Optional[Dict[APIType, Sequence[Sequence[str]]]] = None
+    #: Designated filesystem regions per API type (generalizing the
+    #: paper's designated-files argument check): file syscalls outside
+    #: the agent's prefixes are seccomp-killed.  None disables the check.
+    path_policies: Optional[Dict[APIType, Tuple[str, ...]]] = None
+    #: Upper bound on restarts per agent (None = unbounded).  A crash
+    #: loop — e.g. a malicious input replayed at a restarted agent —
+    #: eventually leaves the agent down instead of thrashing.
+    max_restarts_per_agent: Optional[int] = None
+
+
+@dataclass
+class SecurityEvent:
+    """One mitigated (or observed) security-relevant runtime event."""
+
+    kind: str
+    qualname: str
+    agent: str
+    detail: str
+    at_ns: int
+
+
+class FreePartGateway(ApiGateway):
+    """The online runtime: hooked API dispatch with enforcement."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        host: SimProcess,
+        plan: PartitionPlan,
+        categorization: Categorization,
+        config: FreePartConfig,
+    ) -> None:
+        super().__init__(kernel, host)
+        self.plan = plan
+        self.categorization = categorization
+        self.config = config
+        self.events: List[SecurityEvent] = []
+        self.host_store = ObjectStore(host)
+        self._host_refs: Dict[int, ObjectRef] = {}
+        self._annotations = {a.tag: a for a in config.annotations}
+        path_policies = config.path_policies or {}
+        filter_specs = {
+            partition.index: filter_spec_for_partition(
+                partition,
+                categorization,
+                # Manually sub-partitioned agents (labelled "type#n") get
+                # tight per-group filters (Appendix A.6); full-type agents
+                # get the Table 7 pool.
+                widen_to_pool=config.widen_to_pool and "#" not in partition.label,
+                path_prefixes=path_policies.get(partition.api_type),
+            )
+            for partition in plan.partitions
+        }
+        self.agents: Dict[int, AgentProcess] = {
+            partition.index: AgentProcess(
+                kernel,
+                partition,
+                filter_spec=filter_specs.get(partition.index),
+                restrict_syscalls=config.restrict_syscalls,
+                max_restarts=config.max_restarts_per_agent,
+            )
+            for partition in plan.partitions
+        }
+        self.machine = TemporalStateMachine(
+            processes=self._all_processes,
+            enforce=config.enforce_permissions,
+            annotated_tags=[a.tag for a in config.annotations],
+        )
+
+    # ------------------------------------------------------------------
+    # Process roster
+    # ------------------------------------------------------------------
+
+    def _all_processes(self) -> List[SimProcess]:
+        processes = [self.host]
+        processes.extend(agent.process for agent in self.agents.values())
+        return processes
+
+    @property
+    def process_count(self) -> int:
+        """Host program process + one agent per partition."""
+        return 1 + len(self.agents)
+
+    # ------------------------------------------------------------------
+    # State-aware host allocation
+    # ------------------------------------------------------------------
+
+    @property
+    def state_label(self) -> str:
+        return self.machine.state_label
+
+    def host_alloc(self, tag: str, payload: Any) -> Buffer:
+        """Define a host variable; custom data may require an annotation."""
+        if self.config.strict_annotations and not isinstance(payload, DataObject):
+            if tag not in self._annotations:
+                raise AnnotationError(
+                    f"custom data structure {tag!r} needs a MemoryLayout "
+                    "annotation for permission enforcement"
+                )
+        return super().host_alloc(tag, payload)
+
+    # ------------------------------------------------------------------
+    # Hooked API dispatch
+    # ------------------------------------------------------------------
+
+    def call(self, framework: str, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Hooked dispatch: route the API to its agent with enforcement."""
+        api = self._resolve_api(framework, name)
+        spec = api.spec
+        entry = self.categorization.get(spec.qualname)
+
+        if entry.neutral:
+            # Type-neutral APIs run in the agent of the current state.
+            effective_type = (
+                api_type_of_state(self.machine.state) or APIType.PROCESSING
+            )
+            partition = self.plan.partition_for_type(effective_type)
+        else:
+            effective_type = entry.api_type
+            self.machine.observe_call(entry.api_type)
+            partition = self.plan.partition_of(spec.qualname)
+            if partition is None:
+                partition = self.plan.partition_for_type(entry.api_type)
+
+        self.stats.record(CallRecord(
+            framework=spec.framework, name=spec.name,
+            qualname=spec.qualname, api_type=effective_type,
+        ))
+
+        agent = self.agents[partition.index]
+        if not agent.alive:
+            if not self.config.restart_agents:
+                raise AgentUnavailable(
+                    f"agent {partition.label!r} crashed and restart is disabled"
+                )
+            agent.restart()  # raises AgentUnavailable past the restart cap
+
+        request = self._build_request(agent, spec.qualname, args, kwargs)
+        agent.channel.request.send(self.host.pid, "request", request)
+        agent.channel.request.receive()
+        if not self.config.ldc:
+            self._eager_copy_args(agent, args)
+        try:
+            response = agent.execute(
+                api, request, self._resolve_ref, ldc=self.config.ldc
+            )
+        except (ProcessCrashed, SyscallDenied, SegmentationFault) as exc:
+            self._handle_agent_crash(agent, spec.qualname, exc)
+            raise FrameworkCrash(spec.qualname, exc) from exc
+        agent.channel.response.send(agent.process.pid, "response", response)
+        agent.channel.response.receive()
+        self._maybe_end_init(agent)
+
+        value = response.value
+        if isinstance(value, ObjectRef):
+            return RemoteHandle(value)
+        if not self.config.ldc and isinstance(value, DataObject):
+            # Eager mode: the result is copied back into the host program.
+            self.kernel.transfer(
+                agent.process, self.host, value,
+                tag=f"eager:{spec.name}",
+                origin_state=self.machine.state_label,
+                lazy=False, count_message=False,
+            )
+        return value
+
+    def _build_request(
+        self,
+        agent: AgentProcess,
+        qualname: str,
+        args: tuple,
+        kwargs: dict,
+    ) -> RpcRequest:
+        wrap = self._wrap_outbound if self.config.ldc else (lambda v: v)
+        return RpcRequest(
+            seq=agent.sequence.next_seq(),
+            api_qualname=qualname,
+            args=tuple(wrap(value) for value in args),
+            kwargs=tuple((key, wrap(value)) for key, value in kwargs.items()),
+            state_label=self.machine.state_label,
+        )
+
+    def _wrap_outbound(self, value: Any) -> Any:
+        """Replace data objects with references (the LDC request path)."""
+        if isinstance(value, (list, tuple)):
+            wrapped = [self._wrap_outbound(item) for item in value]
+            return type(value)(wrapped) if isinstance(value, tuple) else wrapped
+        if isinstance(value, RemoteHandle):
+            return value.ref
+        if isinstance(value, DataObject):
+            key = id(value)
+            ref = self._host_refs.get(key)
+            if ref is None:
+                ref = self.host_store.register(
+                    value, state_label=self.machine.state_label, tag="host-object"
+                )
+                self._host_refs[key] = ref
+            return ref
+        return value
+
+    def _eager_copy_args(self, agent: AgentProcess, args: tuple) -> None:
+        """Non-LDC mode: physically copy object arguments into the agent."""
+        for value in args:
+            if isinstance(value, DataObject):
+                self.kernel.transfer(
+                    self.host, agent.process, value,
+                    tag="eager-arg",
+                    origin_state=self.machine.state_label,
+                    lazy=False, count_message=False,
+                )
+
+    def _resolve_ref(self, ref: ObjectRef) -> Any:
+        """Find a reference's payload in whichever process owns it."""
+        if ref.owner_pid == self.host.pid:
+            return self.host_store.fetch(ref)
+        for agent in self.agents.values():
+            if (
+                agent.process.pid == ref.owner_pid
+                and agent.process.generation == ref.owner_generation
+            ):
+                return agent.fetch_local(ref)
+        raise StaleObjectRef(
+            f"no live process owns ref (pid={ref.owner_pid}, "
+            f"gen={ref.owner_generation}); its agent probably crashed"
+        )
+
+    def _handle_agent_crash(
+        self, agent: AgentProcess, qualname: str, exc: Exception
+    ) -> None:
+        agent.process.crash(str(exc))
+        agent.stats.crashes += 1
+        self.events.append(SecurityEvent(
+            kind=type(exc).__name__,
+            qualname=qualname,
+            agent=agent.partition.label,
+            detail=str(exc),
+            at_ns=self.kernel.clock.now_ns,
+        ))
+        if self.config.restart_agents:
+            try:
+                agent.restart()
+            except AgentUnavailable:
+                # Restart budget exhausted: the agent stays down; the
+                # caller still sees this crash as a FrameworkCrash, and
+                # subsequent dispatches surface AgentUnavailable.
+                pass
+
+    def _maybe_end_init(self, agent: AgentProcess) -> None:
+        if (
+            self.config.restrict_syscalls
+            and agent.stats.requests >= 1
+            and agent.process.filter.in_init_phase
+        ):
+            agent.end_init_phase()
+
+    # ------------------------------------------------------------------
+    # Host dereference (rare; counted as a non-lazy copy)
+    # ------------------------------------------------------------------
+
+    def materialize(self, value: Any) -> Any:
+        """Copy a remote result's data into the host (counted non-lazy)."""
+        if isinstance(value, RemoteHandle):
+            ref = value.ref
+            payload = self._resolve_ref(ref)
+            if ref.owner_pid != self.host.pid:
+                owner = self.kernel.process(ref.owner_pid)
+                self.kernel.transfer(
+                    owner, self.host, payload,
+                    tag=f"materialize:{ref.kind}",
+                    origin_state=self.machine.state_label,
+                    lazy=False,
+                )
+            if isinstance(payload, DataObject):
+                return payload.data
+            return payload
+        if isinstance(value, DataObject):
+            return value.data
+        return value
+
+    # ------------------------------------------------------------------
+    # Multi-threading (Section 6)
+    # ------------------------------------------------------------------
+
+    def for_thread(self, name: str = "worker") -> "FreePartGateway":
+        """A gateway for another host thread.
+
+        The paper: "for multi-threading processes, each thread will have
+        its own set of four agent processes, hence avoiding race
+        conditions."  The returned gateway shares this one's host
+        process, plan, and categorization but owns fresh agents and an
+        independent framework state machine.
+        """
+        sibling = FreePartGateway(
+            kernel=self.kernel,
+            host=self.host,
+            plan=self.plan,
+            categorization=self.categorization,
+            config=self.config,
+        )
+        for agent in sibling.agents.values():
+            agent.process.name = f"{agent.process.name}:{name}"
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Teardown / reporting
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Close channels and exit all agent processes."""
+        for agent in self.agents.values():
+            agent.channel.close()
+            if agent.process.alive:
+                agent.process.exit()
+
+    def agent_stats(self) -> Dict[str, Any]:
+        """Per-agent statistics keyed by partition label."""
+        return {
+            agent.partition.label: agent.stats
+            for agent in self.agents.values()
+        }
+
+    def total_restarts(self) -> int:
+        """Agent restarts performed so far."""
+        return sum(agent.stats.restarts for agent in self.agents.values())
+
+    def total_crashes(self) -> int:
+        """Agent crashes observed so far."""
+        return sum(agent.stats.crashes for agent in self.agents.values())
+
+
+@dataclass
+class RunReport:
+    """Everything a single application run produced (virtual metrics)."""
+
+    app_name: str
+    gateway: str
+    virtual_seconds: float
+    ipc_messages: int
+    ipc_bytes: int
+    lazy_copies: int
+    lazy_copy_bytes: int
+    nonlazy_copies: int
+    nonlazy_copy_bytes: int
+    api_calls: int
+    transitions: int
+    protected_buffers: int
+    crashes: int
+    restarts: int
+    processes: int
+    failed: bool = False
+    error: str = ""
+    result: Any = None
+
+    @property
+    def data_transferred_bytes(self) -> int:
+        return self.ipc_bytes + self.lazy_copy_bytes
+
+    @property
+    def lazy_fraction(self) -> float:
+        total = self.lazy_copies + self.nonlazy_copies
+        return self.lazy_copies / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view (the ``result`` payload is dropped)."""
+        return {
+            "app_name": self.app_name,
+            "gateway": self.gateway,
+            "virtual_seconds": self.virtual_seconds,
+            "ipc_messages": self.ipc_messages,
+            "ipc_bytes": self.ipc_bytes,
+            "lazy_copies": self.lazy_copies,
+            "lazy_copy_bytes": self.lazy_copy_bytes,
+            "nonlazy_copies": self.nonlazy_copies,
+            "nonlazy_copy_bytes": self.nonlazy_copy_bytes,
+            "data_transferred_bytes": self.data_transferred_bytes,
+            "lazy_fraction": self.lazy_fraction,
+            "api_calls": self.api_calls,
+            "transitions": self.transitions,
+            "protected_buffers": self.protected_buffers,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "processes": self.processes,
+            "failed": self.failed,
+            "error": self.error,
+        }
+
+
+class FreePart:
+    """Offline + online driver (the top of Fig. 5)."""
+
+    def __init__(
+        self,
+        kernel: Optional[SimKernel] = None,
+        config: Optional[FreePartConfig] = None,
+    ) -> None:
+        self.kernel = kernel if kernel is not None else SimKernel()
+        self.config = config if config is not None else FreePartConfig()
+        self._analyzer = HybridAnalyzer()
+        self._categorization: Optional[Categorization] = None
+
+    def analyze(
+        self, apis: Optional[Sequence[FrameworkAPI]] = None
+    ) -> Categorization:
+        """Offline phase: hybrid categorization of the used APIs."""
+        if apis is None:
+            apis = iter_apis()
+        self._categorization = self._analyzer.categorize(apis)
+        return self._categorization
+
+    def build_plan(self, categorization: Categorization) -> PartitionPlan:
+        """Build the partition plan the config asks for."""
+        if self.config.subpartitions:
+            return sub_partition_plan(categorization, self.config.subpartitions)
+        if self.config.partition_count <= 4:
+            return four_way_plan(categorization)
+        import random
+
+        return split_processing_plan(
+            categorization,
+            self.config.partition_count,
+            rng=random.Random(self.config.partition_seed),
+        )
+
+    def deploy(
+        self,
+        used_apis: Optional[Sequence[FrameworkAPI]] = None,
+        host: Optional[SimProcess] = None,
+        plan: Optional[PartitionPlan] = None,
+    ) -> FreePartGateway:
+        """Online phase: spawn host + agents and return the hooked gateway."""
+        categorization = self._categorization
+        if categorization is None or used_apis is not None:
+            categorization = self.analyze(used_apis)
+        if plan is None:
+            plan = self.build_plan(categorization)
+        if host is None:
+            host = self.kernel.spawn("host-program", role="host", charge=False)
+        return FreePartGateway(
+            kernel=self.kernel,
+            host=host,
+            plan=plan,
+            categorization=categorization,
+            config=self.config,
+        )

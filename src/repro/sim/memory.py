@@ -1,0 +1,350 @@
+"""Simulated per-process virtual memory with page-level permissions.
+
+This module stands in for the MMU + ``mprotect`` mechanism the paper uses
+to enforce temporal read-only permissions on data objects (Fig. 3).  Each
+:class:`AddressSpace` belongs to exactly one simulated process; a write
+from one process can never reach another process's buffers because the
+spaces are disjoint Python objects — the same guarantee real page tables
+give.
+
+Data objects (images, tensors, model weights) live in :class:`Buffer`
+records: a page-aligned range plus an arbitrary Python payload.  Exploit
+code operates on raw addresses (``raw_write``), while well-behaved
+framework APIs operate on payloads (``load``/``store``); both paths go
+through the same permission check.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import SegmentationFault
+from repro.sim.clock import VirtualClock
+
+PAGE_SIZE = 4096
+_HEAP_BASE = 0x0001_0000
+_GUARD_PAGES = 1
+
+
+class Permission(enum.IntFlag):
+    """POSIX-style page protection bits."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    EXEC = 4
+
+    @classmethod
+    def rw(cls) -> "Permission":
+        return cls.READ | cls.WRITE
+
+    @classmethod
+    def ro(cls) -> "Permission":
+        return cls.READ
+
+
+def page_of(address: int) -> int:
+    """Return the page index containing ``address``."""
+    return address // PAGE_SIZE
+
+
+def pages_spanned(address: int, size: int) -> range:
+    """Return the range of page indices covered by ``[address, address+size)``."""
+    if size <= 0:
+        return range(page_of(address), page_of(address))
+    return range(page_of(address), page_of(address + size - 1) + 1)
+
+
+@dataclass
+class Buffer:
+    """A contiguous allocation holding one data object.
+
+    ``payload`` is the live Python object (numpy array, bytes, model
+    weights, ...).  ``nbytes`` is the simulated size used for cost and
+    permission accounting; it tracks the payload where possible.
+
+    ``origin_state`` records the framework state during which the buffer
+    was defined — FreePart's temporal permission enforcement flips every
+    buffer of the *previous* state to read-only on a state transition.
+    """
+
+    buffer_id: int
+    pid: int
+    address: int
+    nbytes: int
+    tag: str = ""
+    payload: Any = None
+    origin_state: str = "initialization"
+    freed: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.address + self.nbytes
+
+    def contains(self, address: int) -> bool:
+        """Does the address fall inside this buffer?"""
+        return self.address <= address < self.end
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Best-effort simulated size of an arbitrary payload object."""
+    if payload is None:
+        return 0
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (int, float, bool)):
+        return 8
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return 16 + sum(payload_nbytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return 16 + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items()
+        )
+    return 64
+
+
+class AddressSpace:
+    """The virtual memory of a single simulated process."""
+
+    def __init__(self, pid: int, clock: Optional[VirtualClock] = None) -> None:
+        self.pid = pid
+        self.clock = clock
+        self._next_address = _HEAP_BASE
+        self._next_buffer_id = 1
+        self._buffers: Dict[int, Buffer] = {}
+        self._page_permissions: Dict[int, Permission] = {}
+        self.mprotect_calls = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def alloc(
+        self,
+        nbytes: int,
+        tag: str = "",
+        payload: Any = None,
+        origin_state: str = "initialization",
+        permission: Permission = Permission.READ | Permission.WRITE,
+    ) -> Buffer:
+        """Allocate a page-aligned buffer and map its pages."""
+        if nbytes < 0:
+            raise ValueError(f"cannot allocate a negative size ({nbytes})")
+        nbytes = max(nbytes, 1)
+        address = self._next_address
+        npages = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+        self._next_address += (npages + _GUARD_PAGES) * PAGE_SIZE
+        buffer = Buffer(
+            buffer_id=self._next_buffer_id,
+            pid=self.pid,
+            address=address,
+            nbytes=nbytes,
+            tag=tag,
+            payload=payload,
+            origin_state=origin_state,
+        )
+        self._next_buffer_id += 1
+        self._buffers[buffer.buffer_id] = buffer
+        for page in pages_spanned(address, nbytes):
+            self._page_permissions[page] = permission
+        return buffer
+
+    def alloc_object(
+        self,
+        payload: Any,
+        tag: str = "",
+        origin_state: str = "initialization",
+    ) -> Buffer:
+        """Allocate a buffer sized to hold ``payload``."""
+        return self.alloc(
+            payload_nbytes(payload),
+            tag=tag,
+            payload=payload,
+            origin_state=origin_state,
+        )
+
+    def free(self, buffer_id: int) -> None:
+        """Unmap a buffer; later accesses through it fault."""
+        buffer = self.get_buffer(buffer_id)
+        for page in pages_spanned(buffer.address, buffer.nbytes):
+            self._page_permissions.pop(page, None)
+        buffer.freed = True
+        buffer.payload = None
+        del self._buffers[buffer_id]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get_buffer(self, buffer_id: int) -> Buffer:
+        """Look up a live buffer by id (faults if unmapped)."""
+        try:
+            return self._buffers[buffer_id]
+        except KeyError:
+            raise SegmentationFault(
+                self.pid, 0, "access", f"buffer {buffer_id} is not mapped"
+            ) from None
+
+    def find_buffer(self, tag: str) -> Optional[Buffer]:
+        """Return the most recently allocated live buffer with ``tag``."""
+        match = None
+        for buffer in self._buffers.values():
+            if buffer.tag == tag:
+                match = buffer
+        return match
+
+    def buffer_at(self, address: int) -> Optional[Buffer]:
+        """The buffer containing an address, if any."""
+        for buffer in self._buffers.values():
+            if buffer.contains(address):
+                return buffer
+        return None
+
+    def buffers(self) -> Iterator[Buffer]:
+        """Iterate over the live buffers."""
+        return iter(list(self._buffers.values()))
+
+    def buffers_in_state(self, origin_state: str) -> List[Buffer]:
+        """Buffers defined during one framework state."""
+        return [b for b in self._buffers.values() if b.origin_state == origin_state]
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+    # ------------------------------------------------------------------
+    # Permission checks and protection changes
+    # ------------------------------------------------------------------
+
+    def permission_of(self, address: int) -> Permission:
+        """Page protection bits at an address."""
+        return self._page_permissions.get(page_of(address), Permission.NONE)
+
+    def check(self, address: int, nbytes: int, needed: Permission) -> None:
+        """Fault unless every page in the range grants ``needed``."""
+        for page in pages_spanned(address, max(nbytes, 1)):
+            granted = self._page_permissions.get(page, Permission.NONE)
+            if needed & ~granted:
+                raise SegmentationFault(
+                    self.pid,
+                    page * PAGE_SIZE,
+                    needed.name.lower() if needed.name else str(needed),
+                    f"page grants {granted!r}",
+                )
+
+    def mprotect(self, address: int, nbytes: int, permission: Permission) -> None:
+        """Change page protections for a mapped range (must be mapped)."""
+        spanned = pages_spanned(address, max(nbytes, 1))
+        for page in spanned:
+            if page not in self._page_permissions:
+                raise SegmentationFault(
+                    self.pid, page * PAGE_SIZE, "mprotect", "page is not mapped"
+                )
+        for page in spanned:
+            self._page_permissions[page] = permission
+        self.mprotect_calls += 1
+        if self.clock is not None:
+            self.clock.advance(self.clock.cost_model.mprotect_ns)
+
+    def protect_buffer(self, buffer_id: int, permission: Permission) -> None:
+        """mprotect an entire buffer's page range."""
+        buffer = self.get_buffer(buffer_id)
+        self.mprotect(buffer.address, buffer.nbytes, permission)
+
+    def is_writable(self, buffer_id: int) -> bool:
+        """Is every page of the buffer writable?"""
+        buffer = self.get_buffer(buffer_id)
+        try:
+            self.check(buffer.address, buffer.nbytes, Permission.WRITE)
+        except SegmentationFault:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+
+    def load(self, buffer_id: int) -> Any:
+        """Read a buffer's payload (checks READ permission)."""
+        buffer = self.get_buffer(buffer_id)
+        self.check(buffer.address, buffer.nbytes, Permission.READ)
+        return buffer.payload
+
+    def store(self, buffer_id: int, payload: Any) -> Buffer:
+        """Replace a buffer's payload (checks WRITE permission).
+
+        The simulated size is updated to follow the payload; growth beyond
+        the currently mapped pages extends the mapping, modelling a
+        ``realloc`` performed by the owning process.
+        """
+        buffer = self.get_buffer(buffer_id)
+        self.check(buffer.address, buffer.nbytes, Permission.WRITE)
+        new_nbytes = max(payload_nbytes(payload), 1)
+        old_pages = set(pages_spanned(buffer.address, buffer.nbytes))
+        new_pages = set(pages_spanned(buffer.address, new_nbytes))
+        for page in new_pages - old_pages:
+            self._page_permissions[page] = Permission.READ | Permission.WRITE
+        for page in old_pages - new_pages:
+            self._page_permissions.pop(page, None)
+        buffer.payload = payload
+        buffer.nbytes = new_nbytes
+        return buffer
+
+    def raw_write(self, address: int, nbytes: int, value: Any = None) -> Buffer:
+        """Write ``nbytes`` at a raw address, as exploit payloads do.
+
+        Returns the buffer that was corrupted.  Faults if the address is
+        unmapped or read-only — this is exactly the check that makes the
+        temporal-permission mitigation of Fig. 3 effective.
+        """
+        self.check(address, nbytes, Permission.WRITE)
+        buffer = self.buffer_at(address)
+        if buffer is None:
+            raise SegmentationFault(self.pid, address, "write", "no buffer mapped")
+        if value is not None:
+            buffer.payload = value
+        return buffer
+
+    def raw_read(self, address: int, nbytes: int) -> Any:
+        """Read from a raw address, as info-leak payloads do."""
+        self.check(address, nbytes, Permission.READ)
+        buffer = self.buffer_at(address)
+        if buffer is None:
+            raise SegmentationFault(self.pid, address, "read", "no buffer mapped")
+        return buffer.payload
+
+
+@dataclass
+class MemoryLayout:
+    """A user-provided annotation describing a protected data structure.
+
+    The paper requires users to define "the memory layout of a customized
+    data structure (e.g., buffer location and size of `template`)" so the
+    runtime can set memory access permissions on it.
+    """
+
+    name: str
+    tag: str
+    nbytes: int
+    constructor: str = ""
+    accessors: tuple = field(default_factory=tuple)
+
+    def validate(self) -> None:
+        """Raise AnnotationError on an incomplete annotation."""
+        from repro.errors import AnnotationError
+
+        if not self.name:
+            raise AnnotationError("annotation needs a name")
+        if not self.tag:
+            raise AnnotationError(f"annotation {self.name!r} needs a buffer tag")
+        if self.nbytes <= 0:
+            raise AnnotationError(
+                f"annotation {self.name!r} needs a positive size, got {self.nbytes}"
+            )

@@ -1,0 +1,36 @@
+"""Synthetic workloads: seeded image/video/text datasets.
+
+Substitutes for the paper's 144 GB ImageNet-derived corpus and per-app
+demo inputs (DESIGN.md §2): same code paths, deterministic content.
+"""
+
+from repro.workloads.images import (
+    ImageDataset,
+    blob_image,
+    gradient_image,
+    noise_image,
+    omr_sheet,
+    standard_eval_dataset,
+)
+from repro.workloads.text import corpus, score_table, token_ids, token_sequence
+from repro.workloads.video import (
+    install_camera,
+    moving_blob_source,
+    static_scene_source,
+)
+
+__all__ = [
+    "ImageDataset",
+    "blob_image",
+    "corpus",
+    "gradient_image",
+    "install_camera",
+    "moving_blob_source",
+    "noise_image",
+    "omr_sheet",
+    "score_table",
+    "standard_eval_dataset",
+    "static_scene_source",
+    "token_ids",
+    "token_sequence",
+]

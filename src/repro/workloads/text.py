@@ -1,0 +1,51 @@
+"""Synthetic text workloads (the FAIRSEQ-style sequence inputs).
+
+Deterministic token sequences and CSV tables standing in for the "text
+data (a few MBs)" the paper feeds its text-processing applications.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.sim.kernel import SimKernel
+
+_VOCABULARY = (
+    "the model learns a latent representation of each input token and "
+    "predicts the next symbol from context attention layers norm residual "
+    "gradient descent batch sequence decoder encoder"
+).split()
+
+
+def token_sequence(seed: int, length: int = 64) -> List[str]:
+    """Deterministic token-string sequence."""
+    rng = np.random.default_rng(seed)
+    return [_VOCABULARY[int(i)] for i in rng.integers(0, len(_VOCABULARY), length)]
+
+
+def token_ids(seed: int, length: int = 64) -> np.ndarray:
+    """Deterministic token-id sequence."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, len(_VOCABULARY), size=length).astype(np.int64)
+
+
+def corpus(kernel: SimKernel, name: str = "corpus", documents: int = 4,
+           length: int = 64, seed: int = 11) -> List[str]:
+    """Write a document corpus into the simulated filesystem."""
+    paths = []
+    for index in range(documents):
+        path = f"/datasets/{name}/doc-{index:04d}.txt"
+        kernel.fs.write_file(path, " ".join(token_sequence(seed + index, length)))
+        paths.append(path)
+    return paths
+
+
+def score_table(rows: int = 8, seed: int = 13) -> List[list]:
+    """A CSV-shaped table (the OMRChecker output format)."""
+    rng = np.random.default_rng(seed)
+    table: List[list] = [["sheet", "score"]]
+    for index in range(rows):
+        table.append([index, int(rng.integers(0, 4))])
+    return table

@@ -1,0 +1,105 @@
+"""Application-based partitioning challenges (Appendix A.2.1)."""
+
+import ast
+
+import pytest
+
+from repro.analysis.app_partitioning import (
+    FIG16_SOURCE,
+    FIG17_SOURCE,
+    MAIN_PARTITION,
+    PartitionedProgram,
+    partition_source,
+)
+from repro.errors import AnalysisError
+
+
+def test_requires_a_function():
+    with pytest.raises(AnalysisError):
+        partition_source("x = 1", {})
+
+
+def test_no_assignments_keeps_everything_in_main():
+    result = partition_source(FIG16_SOURCE, {})
+    assert list(result.partitions) == [MAIN_PARTITION]
+    assert result.ipc_sites == 0
+
+
+def test_generated_sources_are_valid_python():
+    result = partition_source(FIG16_SOURCE, {"show": "partition2"})
+    for source in result.partitions.values():
+        ast.parse(source)  # must not raise
+
+
+def test_fig16_try_except_duplicated_into_both_partitions():
+    result = partition_source(FIG16_SOURCE, {"show": "partition2"})
+    assert result.duplicated_try_blocks == 1
+    main = result.source_of(MAIN_PARTITION)
+    other = result.source_of("partition2")
+    assert "try:" in main and "except Exception" in main
+    assert "try:" in other and "except Exception" in other
+    # the moved call lives only in partition2
+    assert "show(" in other
+    assert "show(" not in main
+
+
+def test_fig16_ipc_stubs_inserted_on_both_sides():
+    result = partition_source(FIG16_SOURCE, {"show": "partition2"})
+    main = result.source_of(MAIN_PARTITION)
+    other = result.source_of("partition2")
+    assert "IPC.signal" in main and "IPC.waitfor" in main
+    assert "IPC.waitfor" in other and "IPC.signal" in other
+    assert result.ipc_sites == 6
+
+
+def test_fig17_loop_call_gets_service_loop():
+    result = partition_source(FIG17_SOURCE, {"show": "partition4"})
+    assert result.service_loops == 1
+    other = result.source_of("partition4")
+    assert "while True:" in other
+    # the main side keeps its original for-loop
+    assert "for i in range" in result.source_of(MAIN_PARTITION)
+
+
+def test_fig17_two_partitions_from_two_callees():
+    result = partition_source(
+        FIG17_SOURCE,
+        {"show": "partition4", "saveOrShowStacks": "partition2"},
+    )
+    assert set(result.partitions) == {
+        MAIN_PARTITION, "partition2", "partition4",
+    }
+    # both are loop-resident, both need to stay alive
+    assert result.service_loops == 2
+    assert result.ipc_sites == 12
+
+
+def test_main_keeps_non_partitioned_statements():
+    result = partition_source(FIG16_SOURCE, {"show": "partition2"})
+    main = result.source_of(MAIN_PARTITION)
+    assert "resize_util" in main
+    assert "morph = img.copy()" in main
+
+
+def test_attribute_calls_are_matched():
+    source = """
+def f(writer, frame):
+    writer.append(frame)
+    flush(writer)
+"""
+    result = partition_source(source, {"flush": "p2"})
+    assert "flush(" in result.source_of("p2")
+    assert "writer.append(frame)" in result.source_of(MAIN_PARTITION)
+
+
+def test_notes_explain_the_challenges():
+    result = partition_source(FIG16_SOURCE, {"show": "partition2"})
+    assert any("Fig. 16" in note for note in result.notes)
+    result = partition_source(FIG17_SOURCE, {"show": "partition4"})
+    assert any("Fig. 17" in note for note in result.notes)
+
+
+def test_source_of_unknown_partition():
+    result = partition_source(FIG16_SOURCE, {})
+    with pytest.raises(AnalysisError):
+        result.source_of("nope")

@@ -1,0 +1,109 @@
+"""Case-study applications: facial (Fig. 10), drone, MComix3, A.7 apps."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import Workload, execute_app
+from repro.apps.drone import DEFAULT_SPEED, DroneApp, SPEED_TAG, drone_followed_object
+from repro.apps.facial import FacialRecognitionApp, USERPROFILE_TAG
+from repro.apps.mcomix import MComixApp
+from repro.apps.medical import CtViewerApp, InvoiceOcrApp
+from repro.apps.suite import used_api_objects
+from repro.core.gateway import NativeGateway
+from repro.core.runtime import FreePart
+from repro.sim.kernel import SimKernel
+
+
+def run(app, mode="native", workload=None):
+    workload = workload or Workload(items=3, image_size=16)
+    kernel = SimKernel()
+    if mode == "native":
+        gateway = NativeGateway(kernel)
+    else:
+        gateway = FreePart(kernel=kernel).deploy(used_apis=used_api_objects(app))
+    report = execute_app(app, gateway, workload)
+    return kernel, gateway, report
+
+
+class TestFacialRecognition:
+    def test_processes_frames_until_quit_key(self):
+        app = FacialRecognitionApp()
+        kernel, gateway, report = run(
+            app, workload=Workload(items=10, image_size=16, keys="ssq")
+        )
+        assert not report.failed, report.error
+        # 'q' on the third frame stops the loop early.
+        assert report.result.items_processed == 2
+
+    def test_s_key_saves_frames(self):
+        app = FacialRecognitionApp()
+        kernel, gateway, report = run(
+            app, workload=Workload(items=5, image_size=16, keys="s")
+        )
+        saved = kernel.fs.listdir("/out/facial/")
+        assert len(saved) == 1
+
+    def test_detections_notified_to_server(self):
+        app = FacialRecognitionApp()
+        kernel, gateway, report = run(
+            app, workload=Workload(items=4, image_size=16)
+        )
+        assert kernel.devices.network.outbound_to("server")
+
+    def test_profiles_in_host_memory(self):
+        app = FacialRecognitionApp()
+        kernel, gateway, report = run(app, workload=Workload(items=2))
+        profiles = report.result.outputs["profiles"]
+        assert "alice" in profiles
+
+    def test_same_behaviour_under_freepart(self):
+        workload = Workload(items=4, image_size=16)
+        _, _, native_report = run(FacialRecognitionApp(), "native", workload)
+        _, _, protected_report = run(FacialRecognitionApp(), "freepart", workload)
+        assert (native_report.result.items_processed
+                == protected_report.result.items_processed)
+
+
+class TestDrone:
+    def test_drone_follows_object(self):
+        kernel, gateway, report = run(DroneApp(), workload=Workload(items=6))
+        assert not report.failed
+        assert drone_followed_object(report.result)
+        assert report.result.outputs["final_speed"] == DEFAULT_SPEED
+        assert report.result.outputs["airborne"]
+
+    def test_drone_under_freepart_same_trajectory(self):
+        workload = Workload(items=6, image_size=16)
+        _, _, a = run(DroneApp(), "native", workload)
+        _, _, b = run(DroneApp(), "freepart", workload)
+        assert a.result.outputs["positions"] == b.result.outputs["positions"]
+
+
+class TestMComix:
+    def test_recent_files_accumulate(self):
+        kernel, gateway, report = run(MComixApp(), workload=Workload(items=3))
+        menu = report.result.outputs["recent_menu"]
+        assert len(menu) == 3
+        assert menu[0].endswith("issue-2.cbz")
+        assert report.result.outputs["recent_variable"] == menu
+
+    def test_runs_under_freepart(self):
+        kernel, gateway, report = run(MComixApp(), "freepart",
+                                      workload=Workload(items=3))
+        assert not report.failed, report.error
+
+
+class TestMedicalApps:
+    @pytest.mark.parametrize("app_cls", [CtViewerApp, InvoiceOcrApp])
+    def test_record_stays_intact(self, app_cls):
+        kernel, gateway, report = run(app_cls(), workload=Workload(items=2))
+        assert not report.failed, report.error
+        assert report.result.outputs["record"] == app_cls().record_value
+        assert len(report.result.outputs["findings"]) == 2
+
+    def test_findings_deterministic_across_modes(self):
+        workload = Workload(items=2, image_size=16)
+        _, _, a = run(CtViewerApp(), "native", workload)
+        _, _, b = run(CtViewerApp(), "freepart", workload)
+        assert np.allclose(a.result.outputs["findings"],
+                           b.result.outputs["findings"])

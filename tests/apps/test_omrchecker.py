@@ -1,0 +1,98 @@
+"""OMRChecker: grading behaviour and the motivating example's data."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import Workload, execute_app
+from repro.apps.omrchecker import (
+    ANSWERS_TAG,
+    DEFAULT_TEMPLATE,
+    MASTER_ANSWERS,
+    OMRCROP_TAG,
+    OMRCheckerApp,
+    TEMPLATE_TAG,
+    read_scores,
+)
+from repro.apps.suite import used_api_objects
+from repro.core.gateway import NativeGateway
+from repro.core.runtime import FreePart, FreePartConfig
+from repro.sim.kernel import SimKernel
+
+WORKLOAD = Workload(items=3, image_size=16)
+
+
+def run(gateway_factory):
+    app = OMRCheckerApp()
+    kernel = SimKernel()
+    gateway = gateway_factory(app, kernel)
+    report = execute_app(app, gateway, WORKLOAD)
+    return app, kernel, gateway, report
+
+
+def native(app, kernel):
+    return NativeGateway(kernel)
+
+
+def freepart(app, kernel):
+    config = FreePartConfig(annotations=tuple(app.annotations))
+    return FreePart(kernel=kernel, config=config).deploy(
+        used_apis=used_api_objects(app)
+    )
+
+
+def test_grades_all_sheets_correctly_native():
+    app, kernel, gateway, report = run(native)
+    assert not report.failed, report.error
+    rows = read_scores(kernel, app)
+    assert rows[0] == ["sheet", "recognized", "score"]
+    for row in rows[1:]:
+        # Every marked sheet scores full marks against the master answers.
+        assert row[2] == len(MASTER_ANSWERS)
+        assert row[1] == "".join(MASTER_ANSWERS)
+
+
+def test_grades_identically_under_freepart():
+    _, kernel_a, _, _ = run(native)
+    app_b, kernel_b, _, _ = run(freepart)
+    assert read_scores(kernel_a, OMRCheckerApp()) == read_scores(kernel_b, app_b)
+
+
+def test_critical_data_allocated(native_run=None):
+    app, kernel, gateway, report = run(native)
+    assert gateway.host_read(TEMPLATE_TAG) == [list(b) for b in DEFAULT_TEMPLATE]
+    assert gateway.host_read(ANSWERS_TAG) == MASTER_ANSWERS
+    assert gateway.host_buffer(OMRCROP_TAG) is not None
+
+
+def test_template_readonly_under_freepart_after_loading():
+    from repro.errors import SegmentationFault
+
+    app, kernel, gateway, report = run(freepart)
+    with pytest.raises(SegmentationFault):
+        gateway.host_write(TEMPLATE_TAG, [[0, 0, 0, 0]])
+
+
+def test_annotations_cover_motivating_example():
+    tags = {a.tag for a in OMRCheckerApp().annotations}
+    assert tags == {TEMPLATE_TAG, ANSWERS_TAG, OMRCROP_TAG}
+    for annotation in OMRCheckerApp().annotations:
+        annotation.validate()
+
+
+def test_hot_loop_sites_marked():
+    app = OMRCheckerApp()
+    hot = [s for s in app.schedule if s.repeat > 1]
+    hot_names = {s.api for s in hot}
+    assert hot_names == {"rectangle", "putText"}
+
+
+def test_schedule_matches_table6_row_8():
+    from repro.core.apitypes import APIType
+
+    counts = OMRCheckerApp().schedule_counts()
+    assert (counts[APIType.LOADING].unique, counts[APIType.LOADING].total) == (2, 4)
+    assert (counts[APIType.PROCESSING].unique,
+            counts[APIType.PROCESSING].total) == (42, 88)
+    assert (counts[APIType.VISUALIZING].unique,
+            counts[APIType.VISUALIZING].total) == (4, 5)
+    assert (counts[APIType.STORING].unique, counts[APIType.STORING].total) == (1, 1)

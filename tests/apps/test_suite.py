@@ -1,0 +1,116 @@
+"""The 23 evaluation applications (Table 6)."""
+
+import pytest
+
+from repro.apps.base import Workload, execute_app
+from repro.apps.suite import (
+    APP_SPECS,
+    SAMPLE_IDS,
+    all_apps,
+    get_spec,
+    make_app,
+    used_api_objects,
+)
+from repro.attacks.cves import cves_for_sample
+from repro.core.apitypes import APIType
+from repro.core.gateway import NativeGateway
+from repro.core.runtime import FreePart
+from repro.sim.kernel import SimKernel
+
+WORKLOAD = Workload(items=2, image_size=16)
+
+
+def test_twenty_three_samples():
+    assert SAMPLE_IDS == tuple(range(1, 24))
+
+
+def test_get_spec_and_missing():
+    assert get_spec(8).name == "OMRChecker"
+    with pytest.raises(KeyError):
+        get_spec(99)
+
+
+def test_main_framework_distribution_matches_paper():
+    mains = [spec.main_framework for spec in APP_SPECS.values()]
+    assert mains.count("opencv") == 8
+    assert mains.count("caffe") == 3
+    assert mains.count("pytorch") == 8
+    assert mains.count("tensorflow") == 4
+
+
+@pytest.mark.parametrize("sample_id", SAMPLE_IDS)
+def test_schedule_counts_match_table6(sample_id):
+    app = make_app(sample_id)
+    spec = app.spec
+    counts = app.schedule_counts()
+    for api_type, expected in (
+        (APIType.LOADING, spec.loading),
+        (APIType.PROCESSING, spec.processing),
+        (APIType.VISUALIZING, spec.visualizing),
+        (APIType.STORING, spec.storing),
+    ):
+        got = counts.get(api_type)
+        unique, total = (got.unique, got.total) if got else (0, 0)
+        assert (unique, total) == (expected.unique, expected.total), api_type
+
+
+@pytest.mark.parametrize("sample_id", SAMPLE_IDS)
+def test_schedule_includes_sample_cve_apis(sample_id):
+    app = make_app(sample_id)
+    scheduled = {(s.framework, s.api) for s in app.schedule}
+    for record in cves_for_sample(sample_id):
+        assert (record.framework, record.api_name) in scheduled, record.cve_id
+
+
+@pytest.mark.parametrize("sample_id", SAMPLE_IDS)
+def test_runs_native(sample_id):
+    app = make_app(sample_id)
+    report = execute_app(app, NativeGateway(SimKernel()), WORKLOAD)
+    assert not report.failed, report.error
+    assert report.result.items_processed == WORKLOAD.items
+
+
+@pytest.mark.parametrize("sample_id", SAMPLE_IDS)
+def test_runs_under_freepart(sample_id):
+    app = make_app(sample_id)
+    freepart = FreePart()
+    gateway = freepart.deploy(used_apis=used_api_objects(app))
+    workload = Workload(items=1, image_size=16)
+    report = execute_app(app, gateway, workload)
+    assert not report.failed, report.error
+    assert report.crashes == 0  # benign workload: no false positives
+    assert report.transitions >= 2
+    # tiny 1-item workloads have few copies; LDC still dominates
+    assert report.lazy_fraction >= 0.5 or report.lazy_copies == 0
+
+
+def test_processing_dominates_call_sites():
+    """Table 6's qualitative claim: data processing has the most APIs.
+
+    One app (Video-to-ascii) has more loading sites than processing
+    sites, exactly as the published table shows; in aggregate processing
+    dominates every other type.
+    """
+    totals = {"loading": 0, "processing": 0, "visualizing": 0, "storing": 0}
+    for app in all_apps():
+        spec = app.spec
+        totals["loading"] += spec.loading.total
+        totals["processing"] += spec.processing.total
+        totals["visualizing"] += spec.visualizing.total
+        totals["storing"] += spec.storing.total
+    assert totals["processing"] > 3 * totals["loading"]
+    assert totals["processing"] > 10 * totals["visualizing"]
+    assert totals["processing"] > 10 * totals["storing"]
+
+
+def test_loading_apis_are_fewest_unique():
+    total_loading = sum(spec.loading.unique for spec in APP_SPECS.values())
+    total_processing = sum(spec.processing.unique for spec in APP_SPECS.values())
+    assert total_loading < total_processing / 4
+
+
+def test_used_api_objects_resolve():
+    apis = used_api_objects(make_app(8))
+    assert all(hasattr(api, "spec") for api in apis)
+    qualnames = {api.spec.qualname for api in apis}
+    assert "cv2.imread" in qualnames

@@ -1,0 +1,46 @@
+"""The StegoNet trojan-model case study (Appendix A.7)."""
+
+import pytest
+
+from repro.apps.base import Workload
+from repro.apps.medical import CtViewerApp, InvoiceOcrApp
+from repro.attacks.stegonet import run_stegonet_attack, trojaned_model
+
+WORKLOAD = Workload(items=2, image_size=16)
+
+
+def test_trojaned_model_carries_payload():
+    model = trojaned_model()
+    assert model.trojan is not None
+    assert model.trojan.cve_id == "STEGONET-TROJAN"
+
+
+def test_trojan_detonates_without_isolation():
+    result = run_stegonet_attack(CtViewerApp(), "none", workload=WORKLOAD)
+    assert result.trojan_fired
+    assert result.fork_bomb_detonated
+    assert not result.prevented
+
+
+def test_freepart_blocks_fork_bomb():
+    result = run_stegonet_attack(CtViewerApp(), "freepart", workload=WORKLOAD)
+    assert result.trojan_fired
+    assert not result.fork_bomb_detonated
+    assert result.prevented
+    assert result.outcomes[-1].blocked_by == "syscall-restriction"
+
+
+def test_patient_record_survives_attack():
+    result = run_stegonet_attack(CtViewerApp(), "freepart", workload=WORKLOAD)
+    assert result.record_intact
+
+
+def test_invoice_ocr_also_protected():
+    result = run_stegonet_attack(InvoiceOcrApp(), "freepart", workload=WORKLOAD)
+    assert result.prevented
+    assert result.record_intact
+
+
+def test_invoice_ocr_vulnerable_without_isolation():
+    result = run_stegonet_attack(InvoiceOcrApp(), "none", workload=WORKLOAD)
+    assert result.fork_bomb_detonated

@@ -1,0 +1,165 @@
+"""Static, dynamic, and hybrid API categorization (Section 4.2)."""
+
+import pytest
+
+from repro.core.apitypes import APIType
+from repro.core.dataflow import Storage, load_flow, process_flow, visualize_flow
+from repro.core.dynamic_analysis import DynamicAnalyzer, coverage_report
+from repro.core.hybrid import HybridAnalyzer
+from repro.core.static_analysis import (
+    AssignStmt,
+    GuiAccessStmt,
+    IndirectCallStmt,
+    StaticAnalyzer,
+    SyscallStmt,
+    synthesize_ir,
+)
+from repro.errors import UncategorizableAPI
+from repro.frameworks.base import APISpec, Framework
+from repro.frameworks.registry import get_api, get_framework
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        name="op", framework="t", qualname="t.op",
+        ground_truth=APIType.PROCESSING, flows=(process_flow(),),
+        syscalls=("brk",),
+    )
+    defaults.update(overrides)
+    return APISpec(**defaults)
+
+
+class TestIRSynthesis:
+    def test_loading_flow_expands_to_syscalls_and_assign(self):
+        ir = synthesize_ir(make_spec(flows=(load_flow(),)))
+        kinds = [type(s).__name__ for s in ir]
+        assert "SyscallStmt" in kinds and "AssignStmt" in kinds
+
+    def test_opaque_spec_collapses_to_indirect_call(self):
+        ir = synthesize_ir(make_spec(static_opaque=True, flows=(load_flow(),)))
+        assert any(isinstance(s, IndirectCallStmt) for s in ir)
+        assert not any(isinstance(s, SyscallStmt) for s in ir)
+
+    def test_gui_flow_becomes_gui_access(self):
+        ir = synthesize_ir(make_spec(flows=(visualize_flow(),)))
+        assert any(isinstance(s, GuiAccessStmt) for s in ir)
+
+    def test_empty_flows_still_have_assignment(self):
+        ir = synthesize_ir(make_spec(flows=()))
+        assert any(isinstance(s, AssignStmt) for s in ir)
+
+
+class TestStaticAnalyzer:
+    def test_categorizes_visible_loading(self):
+        result = StaticAnalyzer().analyze(
+            make_spec(flows=(load_flow(),), ground_truth=APIType.LOADING)
+        )
+        assert result.complete
+        assert result.category is APIType.LOADING
+        assert not result.needs_dynamic
+
+    def test_categorizes_processing(self):
+        result = StaticAnalyzer().analyze(make_spec())
+        assert result.category is APIType.PROCESSING
+
+    def test_categorizes_visualizing(self):
+        result = StaticAnalyzer().analyze(
+            make_spec(flows=(visualize_flow(),), ground_truth=APIType.VISUALIZING)
+        )
+        assert result.category is APIType.VISUALIZING
+
+    def test_opaque_spec_needs_dynamic(self):
+        result = StaticAnalyzer().analyze(make_spec(static_opaque=True))
+        assert not result.complete
+        assert result.category is None
+        assert result.needs_dynamic
+
+
+class TestDynamicAnalyzer:
+    def test_traces_real_api(self):
+        result = DynamicAnalyzer().analyze(get_api("opencv", "imread"))
+        assert result.covered
+        assert result.category is APIType.LOADING
+        assert "openat" in result.syscalls
+        assert result.error is None
+
+    def test_uncovered_api_reported(self):
+        result = DynamicAnalyzer().analyze(get_api("opencv", "grabCut"))
+        assert not result.covered
+        assert result.category is None
+
+    def test_opaque_pandas_api_resolved_dynamically(self):
+        result = DynamicAnalyzer().analyze(get_api("pandas", "read_csv"))
+        assert result.category is APIType.LOADING
+
+    def test_get_file_reduced_to_loading(self):
+        result = DynamicAnalyzer().analyze(get_api("tensorflow", "utils_get_file"))
+        assert result.category is APIType.LOADING
+
+    def test_runs_in_scratch_kernel(self):
+        # Tracing never touches the caller's kernel state.
+        analyzer = DynamicAnalyzer()
+        result = analyzer.analyze(get_api("opencv", "imwrite"))
+        assert result.covered
+
+
+class TestHybridAnalyzer:
+    def test_static_preferred_when_conclusive(self):
+        entry = HybridAnalyzer().categorize_api(get_api("opencv", "imread"))
+        assert entry.method == "static"
+        assert entry.api_type is APIType.LOADING
+
+    def test_dynamic_used_for_opaque(self):
+        entry = HybridAnalyzer().categorize_api(get_api("json", "load"))
+        assert entry.method == "dynamic"
+        assert entry.api_type is APIType.LOADING
+
+    def test_uncategorizable_raises(self):
+        spec = make_spec(static_opaque=True)  # no example_args
+        api = Framework("x").add(spec, lambda ctx: None)
+        with pytest.raises(UncategorizableAPI):
+            HybridAnalyzer().categorize_api(api)
+
+    @pytest.mark.parametrize("framework_name", [
+        "opencv", "pytorch", "tensorflow", "caffe",
+        "pandas", "json", "matplotlib", "numpy", "pillow", "gtk",
+    ])
+    def test_full_framework_accuracy(self, framework_name):
+        """Section 5: all partitioned APIs were correctly categorized."""
+        framework = get_framework(framework_name)
+        categorization = HybridAnalyzer().categorize_framework(framework)
+        assert categorization.accuracy() == 1.0
+
+    def test_counts_by_type(self):
+        categorization = HybridAnalyzer().categorize_framework(
+            get_framework("pillow")
+        )
+        counts = categorization.counts_by_type()
+        assert counts[APIType.LOADING] == 1
+        assert counts[APIType.VISUALIZING] == 1
+
+    def test_neutral_flag_carried(self):
+        categorization = HybridAnalyzer().categorize_framework(
+            get_framework("opencv")
+        )
+        assert any(e.neutral for e in categorization.neutrals())
+        entry = categorization.get("cv2.cvtColor")
+        assert entry.neutral
+
+    def test_missing_entry_raises(self):
+        from repro.core.hybrid import Categorization
+
+        with pytest.raises(UncategorizableAPI):
+            Categorization().get("nope.nothing")
+
+
+class TestCoverage:
+    def test_coverage_report_fields(self):
+        report = coverage_report(get_framework("opencv"))
+        assert 0.7 < report.api_coverage < 1.0
+        assert report.code_coverage > report.api_coverage * 0.9
+        assert "opencv" in report.format_row()
+
+    def test_fully_covered_framework(self):
+        report = coverage_report(get_framework("json"))
+        assert report.api_coverage == 1.0

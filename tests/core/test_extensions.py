@@ -1,0 +1,145 @@
+"""Discussion/appendix features: multi-threading (Section 6) and manual
+sub-partitioning with finer-grained filters (Appendix A.6)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.facial import FacialRecognitionApp
+from repro.apps.suite import used_api_objects
+from repro.core.apitypes import APIType
+from repro.core.hybrid import HybridAnalyzer
+from repro.core.partitioner import sub_partition_plan
+from repro.core.runtime import FreePart, FreePartConfig
+from repro.errors import ReproError
+from repro.frameworks.base import Mat
+from repro.frameworks.registry import get_framework
+from repro.sim.kernel import SimKernel
+
+
+def deploy(config=None, used=None):
+    freepart = FreePart(config=config)
+    return freepart.kernel, freepart.deploy(used_apis=used)
+
+
+class TestMultiThreading:
+    def test_thread_gateways_share_host_but_not_agents(self):
+        kernel, main = deploy()
+        worker = main.for_thread("worker")
+        assert worker.host is main.host
+        main_pids = {a.process.pid for a in main.agents.values()}
+        worker_pids = {a.process.pid for a in worker.agents.values()}
+        assert not (main_pids & worker_pids)
+        assert len(kernel.processes(role="agent")) == 8
+
+    def test_threads_have_independent_state_machines(self):
+        kernel, main = deploy()
+        worker = main.for_thread()
+        kernel.fs.write_file("/i.png", np.ones((8, 8)))
+        main.call("opencv", "imread", "/i.png")
+        assert main.machine.state.value == "data_loading"
+        assert worker.machine.state.value == "initialization"
+
+    def test_interleaved_pipelines_do_not_interfere(self):
+        kernel, main = deploy()
+        worker = main.for_thread()
+        kernel.fs.write_file("/i.png", np.ones((8, 8)))
+        a = main.call("opencv", "imread", "/i.png")
+        b = worker.call("opencv", "imread", "/i.png")
+        a2 = main.call("opencv", "GaussianBlur", a)
+        b2 = worker.call("opencv", "erode", b)
+        assert a2.ref.owner_pid != b2.ref.owner_pid
+        # Both threads produce correct results.
+        assert main.materialize(a2).shape == (8, 8)
+        assert worker.materialize(b2).shape == (8, 8)
+
+    def test_thread_crash_contained_to_its_own_agents(self):
+        from repro.attacks.exploits import DosExploit
+        from repro.attacks.payloads import CraftedInput, benign_image
+        from repro.errors import FrameworkCrash
+
+        kernel, main = deploy()
+        worker = main.for_thread()
+        crafted = CraftedInput("CVE-2017-14136", DosExploit(), benign_image())
+        kernel.fs.write_file("/evil.png", crafted)
+        with pytest.raises(FrameworkCrash):
+            worker.call("opencv", "imread", "/evil.png")
+        assert worker.total_crashes() == 1
+        assert main.total_crashes() == 0
+        # the main thread's loading agent is untouched
+        kernel.fs.write_file("/ok.png", np.ones((4, 4)))
+        main.call("opencv", "imread", "/ok.png")
+
+
+class TestSubPartitioning:
+    FIG12_SPLIT = {
+        APIType.LOADING: [
+            ["cv2.CascadeClassifier_load"],
+            ["cv2.VideoCapture", "cv2.VideoCapture_read"],
+        ],
+    }
+
+    @pytest.fixture(scope="class")
+    def categorization(self):
+        return HybridAnalyzer().categorize_framework(get_framework("opencv"))
+
+    def test_plan_shape(self, categorization):
+        plan = sub_partition_plan(categorization, self.FIG12_SPLIT)
+        labels = [p.label for p in plan.partitions]
+        assert "data_loading#0" in labels
+        assert "data_loading#1" in labels
+        assert "data_loading#rest" in labels
+        assert "data_processing" in labels  # untouched types keep one agent
+
+    def test_rejects_wrong_type_members(self, categorization):
+        with pytest.raises(ReproError):
+            sub_partition_plan(categorization, {
+                APIType.LOADING: [["cv2.GaussianBlur"]],
+            })
+
+    def test_rejects_duplicates(self, categorization):
+        with pytest.raises(ReproError):
+            sub_partition_plan(categorization, {
+                APIType.LOADING: [["cv2.imread"], ["cv2.imread"]],
+            })
+
+    def test_fig12_finer_grained_filters(self):
+        """A.6: per-group filters — the classifier-load agent loses
+        access to ioctl, which only VideoCapture needs."""
+        app = FacialRecognitionApp()
+        config = FreePartConfig(subpartitions=self.FIG12_SPLIT)
+        kernel, gateway = deploy(config, used=used_api_objects(app))
+        by_label = {a.partition.label: a for a in gateway.agents.values()}
+        classifier_agent = by_label["data_loading#0"]
+        capture_agent = by_label["data_loading#1"]
+        assert "ioctl" not in classifier_agent.process.filter.allowed_names
+        assert "ioctl" in capture_agent.process.filter.allowed_names
+        # Tight filters are much smaller than the Table 7 pool (43).
+        assert len(classifier_agent.process.filter.allowed_names) < 10
+
+    def test_subpartitioned_app_still_runs_correctly(self):
+        from repro.apps.base import Workload, execute_app
+
+        app = FacialRecognitionApp()
+        config = FreePartConfig(subpartitions=self.FIG12_SPLIT)
+        freepart = FreePart(config=config)
+        gateway = freepart.deploy(used_apis=used_api_objects(app))
+        report = execute_app(app, gateway, Workload(items=3, image_size=16))
+        assert not report.failed, report.error
+        assert report.crashes == 0
+        assert gateway.process_count == 6  # host + 5 agents (no remainder)
+
+    def test_subpartitioning_costs_extra_ipc(self):
+        """Appendix A.6: the two VideoCapture methods share data, so
+        splitting them from the classifier costs IPC but keeping them
+        together does not add cross-agent copies."""
+        from repro.apps.base import Workload, execute_app
+
+        def run(config):
+            app = FacialRecognitionApp()
+            freepart = FreePart(config=config)
+            gateway = freepart.deploy(used_apis=used_api_objects(app))
+            return execute_app(app, gateway, Workload(items=4, image_size=16))
+
+        default = run(None)
+        split = run(FreePartConfig(subpartitions=self.FIG12_SPLIT))
+        assert split.virtual_seconds >= default.virtual_seconds

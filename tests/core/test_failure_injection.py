@@ -1,0 +1,128 @@
+"""Failure injection: wrong-order, stale, crashed, and empty states."""
+
+import numpy as np
+import pytest
+
+from repro.apps.suite import make_app, used_api_objects
+from repro.attacks.exploits import DosExploit
+from repro.attacks.payloads import CraftedInput, benign_image
+from repro.core.runtime import FreePart, FreePartConfig
+from repro.errors import (
+    ChannelClosed,
+    FrameworkCrash,
+    ProcessCrashed,
+    StaleObjectRef,
+    UncategorizableAPI,
+)
+from repro.frameworks.base import Mat
+from repro.sim.kernel import SimKernel
+
+
+def deploy(config=None, used=None):
+    freepart = FreePart(config=config)
+    return freepart.kernel, freepart.deploy(used_apis=used)
+
+
+def poison(kernel, path="/evil.png"):
+    crafted = CraftedInput("CVE-2017-14136", DosExploit(), benign_image())
+    kernel.fs.write_file(path, crafted)
+    return path
+
+
+def test_stale_handle_as_argument_after_restart():
+    kernel, gateway = deploy()
+    kernel.fs.write_file("/i.png", np.ones((8, 8)))
+    handle = gateway.call("opencv", "imread", "/i.png")
+    with pytest.raises(FrameworkCrash):
+        gateway.call("opencv", "imread", poison(kernel))
+    # The loading agent restarted; the old handle's buffer died with it.
+    with pytest.raises(StaleObjectRef):
+        gateway.call("opencv", "GaussianBlur", handle)
+
+
+def test_fresh_handles_work_after_restart():
+    kernel, gateway = deploy()
+    with pytest.raises(FrameworkCrash):
+        gateway.call("opencv", "imread", poison(kernel))
+    kernel.fs.write_file("/i.png", np.ones((8, 8)))
+    handle = gateway.call("opencv", "imread", "/i.png")
+    blurred = gateway.call("opencv", "GaussianBlur", handle)
+    assert gateway.materialize(blurred).shape == (8, 8)
+
+
+def test_repeated_crashes_each_produce_an_event():
+    kernel, gateway = deploy()
+    path = poison(kernel)
+    for expected in (1, 2, 3):
+        with pytest.raises(FrameworkCrash):
+            gateway.call("opencv", "imread", path)
+        assert gateway.total_crashes() == expected
+    assert gateway.total_restarts() == 3
+    assert len(gateway.events) == 3
+
+
+def test_unanalyzed_api_rejected():
+    kernel, gateway = deploy(used=list())
+    with pytest.raises(UncategorizableAPI):
+        gateway.call("opencv", "imread", "/x")
+
+
+def test_calls_after_shutdown_fail_cleanly():
+    kernel, gateway = deploy()
+    kernel.fs.write_file("/i.png", np.ones((4, 4)))
+    gateway.call("opencv", "imread", "/i.png")
+    gateway.shutdown()
+    with pytest.raises((ChannelClosed, ProcessCrashed, FrameworkCrash,
+                        Exception)):
+        gateway.call("opencv", "imread", "/i.png")
+
+
+def test_materialize_after_owner_shutdown():
+    kernel, gateway = deploy()
+    kernel.fs.write_file("/i.png", np.ones((4, 4)))
+    handle = gateway.call("opencv", "imread", "/i.png")
+    gateway.shutdown()
+    with pytest.raises((ProcessCrashed, StaleObjectRef)):
+        gateway.materialize(handle)
+
+
+def test_crash_during_visualizing_keeps_other_agents_working():
+    from repro.attacks.cves import get  # noqa: F401 (registry load)
+
+    kernel, gateway = deploy()
+    crafted = CraftedInput("VULN-IMSHOW-DOS", DosExploit(), benign_image())
+    with pytest.raises(FrameworkCrash):
+        gateway.call("opencv", "imshow", "w", crafted)
+    # loading/processing/storing agents never noticed
+    kernel.fs.write_file("/i.png", np.ones((4, 4)))
+    handle = gateway.call("opencv", "imread", "/i.png")
+    gateway.call("opencv", "imwrite", "/o.png", handle)
+    assert kernel.fs.exists("/o.png")
+
+
+def test_attack_on_already_restarted_agent_still_contained():
+    kernel, gateway = deploy()
+    path = poison(kernel)
+    with pytest.raises(FrameworkCrash):
+        gateway.call("opencv", "imread", path)
+    with pytest.raises(FrameworkCrash):
+        gateway.call("opencv", "imread", path)
+    assert gateway.host.alive
+
+
+def test_host_data_survives_every_agent_crash():
+    kernel, gateway = deploy()
+    gateway.host_alloc("config", {"speed": 0.3})
+    path = poison(kernel)
+    for _ in range(2):
+        with pytest.raises(FrameworkCrash):
+            gateway.call("opencv", "imread", path)
+    assert gateway.host_read("config") == {"speed": 0.3}
+
+
+def test_kernel_restart_of_running_process_bumps_generation():
+    kernel = SimKernel()
+    process = kernel.spawn("p")
+    replacement = kernel.restart(process)
+    assert replacement.generation == 1
+    assert replacement.pid != process.pid

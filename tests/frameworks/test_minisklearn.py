@@ -1,0 +1,119 @@
+"""Behavioural tests of the Scikit-learn analogue."""
+
+import numpy as np
+import pytest
+
+from repro.core.apitypes import APIType
+from repro.frameworks.base import ExecutionContext, Model, Tensor, Tracer
+from repro.frameworks.minisklearn import SKLEARN, sample_matrix
+from repro.sim.kernel import SimKernel
+
+
+@pytest.fixture
+def ctx():
+    kernel = SimKernel()
+    return ExecutionContext(kernel, kernel.spawn("t", charge=False),
+                            tracer=Tracer())
+
+
+def call(ctx, name, *args, **kwargs):
+    return ctx.invoke(SKLEARN.get(name), *args, **kwargs)
+
+
+def test_registered_in_the_global_registry():
+    from repro.frameworks.registry import get_framework
+
+    assert get_framework("sklearn") is SKLEARN
+    assert len(SKLEARN) >= 12
+
+
+def test_standard_scaler_zero_mean_unit_std(ctx):
+    scaled = call(ctx, "StandardScaler_fit_transform", sample_matrix())
+    assert np.allclose(scaled.data.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(scaled.data.std(axis=0), 1.0, atol=1e-6)
+
+
+def test_minmax_scaler_range(ctx):
+    scaled = call(ctx, "MinMaxScaler_fit_transform", sample_matrix(3))
+    assert scaled.data.min() >= 0.0
+    assert scaled.data.max() <= 1.0 + 1e-9
+
+
+def test_pca_reduces_dimensions(ctx):
+    reduced = call(ctx, "PCA_fit_transform", sample_matrix(5), components=2)
+    assert reduced.data.shape == (12, 2)
+
+
+def test_pca_components_orthogonal_variance_ordered(ctx):
+    reduced = call(ctx, "PCA_fit_transform", sample_matrix(7), components=2)
+    variances = reduced.data.var(axis=0)
+    assert variances[0] >= variances[1]
+
+
+def test_kmeans_separates_two_blobs(ctx):
+    blob_a = np.zeros((6, 2))
+    blob_b = np.full((6, 2), 10.0)
+    data = Tensor(np.vstack([blob_a, blob_b]))
+    labels = call(ctx, "KMeans_fit_predict", data, clusters=2)
+    assert len(set(labels.data[:6])) == 1
+    assert labels.data[0] != labels.data[6]
+
+
+def test_fit_then_predict_roundtrip(ctx):
+    data = sample_matrix(9)
+    model = call(ctx, "LogisticRegression_fit", data)
+    assert isinstance(model, Model)
+    predictions = call(ctx, "predict", model, data)
+    assert set(np.unique(predictions.data)) <= {0, 1}
+    # The one-step separator recovers the majority of its own labels.
+    targets = (data.data.sum(axis=1) > np.median(data.data.sum(axis=1)))
+    agreement = (predictions.data == targets.astype(int)).mean()
+    assert agreement >= 0.7
+
+
+def test_train_test_split_sizes(ctx):
+    train, test = call(ctx, "train_test_split", sample_matrix(11), ratio=0.75)
+    assert len(train) == 9 and len(test) == 3
+
+
+def test_accuracy_score(ctx):
+    a = Tensor(np.array([1.0, 0.0, 1.0, 1.0]))
+    assert call(ctx, "metrics_accuracy_score", a, a) == 1.0
+    b = Tensor(np.array([0.0, 0.0, 1.0, 1.0]))
+    assert call(ctx, "metrics_accuracy_score", a, b) == pytest.approx(0.75)
+
+
+def test_joblib_dump_load_roundtrip(ctx):
+    model = Model({"coef": np.ones(4)}, architecture="logreg")
+    call(ctx, "joblib_dump", model, "/m.joblib")
+    loaded = call(ctx, "joblib_load", "/m.joblib")
+    assert isinstance(loaded, Model)
+    assert np.array_equal(loaded.data["coef"], np.ones(4))
+
+
+def test_hybrid_categorization_is_perfect():
+    from repro.core.hybrid import HybridAnalyzer
+
+    categorization = HybridAnalyzer().categorize_framework(SKLEARN)
+    assert categorization.accuracy() == 1.0
+    counts = categorization.counts_by_type()
+    assert counts[APIType.LOADING] == 3
+    assert counts[APIType.STORING] == 2
+    assert counts[APIType.VISUALIZING] == 0
+
+
+def test_sklearn_pipeline_under_freepart():
+    from repro.core.runtime import FreePart
+
+    freepart = FreePart()
+    gateway = freepart.deploy(used_apis=list(SKLEARN))
+    kernel = freepart.kernel
+    rng = np.random.default_rng(40)
+    kernel.fs.write_file("/data/iris.csv", rng.normal(size=(12, 4)))
+    data = gateway.call("sklearn", "datasets_load_files", "/data/iris.csv")
+    scaled = gateway.call("sklearn", "StandardScaler_fit_transform", data)
+    model = gateway.call("sklearn", "LogisticRegression_fit", scaled)
+    gateway.call("sklearn", "joblib_dump", model, "/out/model.joblib")
+    assert kernel.fs.exists("/out/model.joblib")
+    assert gateway.machine.state_label == "storing"
+    assert kernel.ipc.lazy_fraction == 1.0

@@ -1,0 +1,195 @@
+"""Behavioural tests of the PyTorch / TensorFlow / Caffe analogues."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataflow import categorize_flows
+from repro.core.apitypes import APIType
+from repro.frameworks.base import ExecutionContext, Model, Tensor, Blob, Tracer
+from repro.frameworks.minicaffe import CAFFE, sample_blob
+from repro.frameworks.minitf import TENSORFLOW
+from repro.frameworks.minitorch import PYTORCH, sample_tensor, sample_weights
+from repro.sim.kernel import SimKernel
+
+
+@pytest.fixture
+def kernel():
+    return SimKernel()
+
+
+@pytest.fixture
+def ctx(kernel):
+    return ExecutionContext(kernel, kernel.spawn("t", charge=False), tracer=Tracer())
+
+
+def call(ctx, framework, name, *args, **kwargs):
+    return ctx.invoke(framework.get(name), *args, **kwargs)
+
+
+class TestPyTorch:
+    def test_save_load_roundtrip(self, ctx):
+        model = Model(sample_weights(), architecture="resnet")
+        call(ctx, PYTORCH, "save", model, "/m.pt")
+        loaded = call(ctx, PYTORCH, "load", "/m.pt")
+        assert isinstance(loaded, Model)
+        assert set(loaded.data) == set(model.data)
+        assert loaded.data is not model.data  # fresh copy
+
+    def test_hub_load_downloads_through_cache(self, ctx):
+        ctx.kernel.devices.network.host_content(
+            "https://model-zoo.example/resnet.pt", Model(sample_weights(5))
+        )
+        loaded = call(ctx, PYTORCH, "hub_load")
+        assert isinstance(loaded, Model)
+        # The reduction makes the observed flows a loading pattern.
+        assert categorize_flows(ctx.tracer.flows.flows) is APIType.LOADING
+
+    def test_dataset_then_dataloader(self, ctx):
+        from repro.frameworks.minitorch import _SAMPLE_DATASET_DIR, _ensure_sample_files
+
+        _ensure_sample_files(ctx)
+        dataset = call(ctx, PYTORCH, "datasets_MNIST", _SAMPLE_DATASET_DIR)
+        assert len(dataset) == 2
+        batches = call(ctx, PYTORCH, "DataLoader", dataset, batch_size=1)
+        assert len(batches) == 2
+
+    def test_relu_clamps_negative(self, ctx):
+        result = call(ctx, PYTORCH, "relu", Tensor(np.array([-1.0, 2.0])))
+        assert np.array_equal(result.data, [0.0, 2.0])
+
+    def test_softmax_sums_to_one(self, ctx):
+        result = call(ctx, PYTORCH, "softmax", Tensor(np.array([1.0, 2.0, 3.0])))
+        assert result.data.sum() == pytest.approx(1.0)
+
+    def test_matmul_shapes(self, ctx):
+        result = call(ctx, PYTORCH, "matmul", sample_tensor(1, 4), sample_tensor(2, 4))
+        assert result.data.shape == (4, 4)
+
+    def test_load_state_dict_merges(self, ctx):
+        model = Model({}, architecture="net")
+        call(ctx, PYTORCH, "load_state_dict", model, sample_weights())
+        assert "conv1.weight" in model.data
+
+    def test_summary_writer_add_scalar_persists(self, ctx):
+        writer = call(ctx, PYTORCH, "SummaryWriter", "/logs")
+        call(ctx, PYTORCH, "SummaryWriter_add_scalar", writer, "loss", 0.25)
+        events = ctx.kernel.fs.read_file("/logs/events.out")
+        assert events == [("loss", 0.25)]
+
+    def test_onnx_export_writes_architecture(self, ctx):
+        call(ctx, PYTORCH, "onnx_export", Model(sample_weights(), "resnet"), "/m.onnx")
+        payload = ctx.kernel.fs.read_file("/m.onnx")
+        assert payload["architecture"] == "resnet"
+
+
+class TestTensorFlow:
+    def test_get_file_stages_via_tempfile(self, ctx):
+        ctx.kernel.devices.network.host_content(
+            "https://datasets.example/flowers.tgz", np.ones((4, 4))
+        )
+        payload = call(ctx, TENSORFLOW, "utils_get_file")
+        assert np.array_equal(payload, np.ones((4, 4)))
+        assert categorize_flows(ctx.tracer.flows.flows) is APIType.LOADING
+
+    def test_image_dataset_from_directory(self, ctx):
+        from repro.frameworks.minitf import _SAMPLE_DATASET_DIR, _ensure_sample_files
+
+        _ensure_sample_files(ctx)
+        batch = call(ctx, TENSORFLOW, "image_dataset_from_directory",
+                     _SAMPLE_DATASET_DIR)
+        assert len(batch) == 2
+        assert all(isinstance(t, Tensor) for t in batch)
+
+    def test_one_hot_shape(self, ctx):
+        result = call(ctx, TENSORFLOW, "one_hot", Tensor(np.array([0, 1, 2])))
+        assert result.data.shape == (3, 4)
+
+    def test_cast_to_float32(self, ctx):
+        result = call(ctx, TENSORFLOW, "cast", Tensor(np.array([1.0])))
+        assert result.data.dtype == np.float32
+
+    def test_save_weights_roundtrip(self, ctx):
+        model = Model({"k": np.ones(2)}, architecture="keras")
+        call(ctx, TENSORFLOW, "Model_save_weights", model, "/w.h5")
+        stored = ctx.kernel.fs.read_file("/w.h5")
+        assert isinstance(stored, Model)
+        assert "k" in stored.data
+
+    def test_estimator_train_is_stateful(self):
+        from repro.frameworks.base import StatefulKind
+
+        spec = TENSORFLOW.get("estimator_DNNClassifier_train").spec
+        assert spec.stateful is StatefulKind.DATA_STATE
+
+
+class TestCaffe:
+    def test_net_combines_proto_and_weights(self, ctx):
+        from repro.frameworks.minicaffe import _ensure_sample_files
+
+        _ensure_sample_files(ctx)
+        net = call(ctx, CAFFE, "Net")
+        assert isinstance(net, Model)
+        assert "conv1" in net.data
+        assert "conv1" in net.architecture or "+" in net.architecture
+
+    def test_forward_is_deterministic_and_nonnegative(self, ctx):
+        net = Model({"conv1": np.ones((3, 3))})
+        out1 = call(ctx, CAFFE, "Forward", net, sample_blob(1))
+        out2 = call(ctx, CAFFE, "Forward", net, sample_blob(1))
+        assert np.array_equal(out1.data, out2.data)
+        assert (out1.data >= 0).all()
+
+    def test_copy_trained_layers(self, ctx):
+        destination = Model({}, architecture="a")
+        source = Model({"fc": np.ones((2, 2))})
+        merged = call(ctx, CAFFE, "CopyTrainedLayersFrom", destination, source)
+        assert "fc" in merged.data
+
+    def test_solver_step_returns_loss(self, ctx):
+        loss = call(ctx, CAFFE, "Solver_step", Model({}), Blob(np.ones(4)))
+        assert loss == pytest.approx(1.0)
+
+    def test_snapshot_writes_model(self, ctx):
+        call(ctx, CAFFE, "Snapshot", Model({"w": np.ones(1)}), "/snap")
+        assert isinstance(ctx.kernel.fs.read_file("/snap"), Model)
+
+    def test_write_proto_handles_non_dict(self, ctx):
+        call(ctx, CAFFE, "WriteProtoToTextFile", Blob(np.ones(1)), "/p.prototxt")
+        assert ctx.kernel.fs.read_file("/p.prototxt") == {"proto": "Blob"}
+
+
+class TestUtilityFrameworks:
+    def test_pandas_read_csv(self, ctx):
+        from repro.frameworks.miniutil import PANDAS
+
+        ctx.kernel.fs.write_file("/t.csv", [["a", 1]])
+        rows = call(ctx, PANDAS, "read_csv", "/t.csv")
+        assert rows == [["a", 1]]
+
+    def test_json_roundtrip(self, ctx):
+        from repro.frameworks.miniutil import JSONLIB
+
+        call(ctx, JSONLIB, "dump", {"k": 1}, "/c.json")
+        assert call(ctx, JSONLIB, "load", "/c.json") == {"k": 1}
+
+    def test_matplotlib_plot_then_savefig(self, ctx):
+        from repro.frameworks.miniutil import MATPLOTLIB
+
+        call(ctx, MATPLOTLIB, "plot", np.arange(4.0))
+        call(ctx, MATPLOTLIB, "savefig", "/fig.png")
+        assert np.array_equal(ctx.kernel.fs.read_file("/fig.png"), np.arange(4.0))
+
+    def test_pillow_open_updates_recent_files(self, ctx):
+        from repro.frameworks.miniutil import PILLOW
+
+        ctx.kernel.fs.write_file("/photo.png", np.ones((4, 4)))
+        call(ctx, PILLOW, "Image_open", "/photo.png")
+        assert ctx.kernel.gui.recent_files == ["/photo.png"]
+
+    def test_gtk_recent_manager(self, ctx):
+        from repro.frameworks.miniutil import GTK
+
+        call(ctx, GTK, "RecentManager_add_item", "/a.cbz")
+        call(ctx, GTK, "RecentManager_add_item", "/b.cbz")
+        items = call(ctx, GTK, "RecentManager_get_items")
+        assert items == ["/b.cbz", "/a.cbz"]

@@ -1,0 +1,114 @@
+"""Per-type syscall pools (Table 7) and their invariants."""
+
+import pytest
+
+from repro.core.apitypes import APIType
+from repro.frameworks.registry import FRAMEWORKS
+from repro.frameworks.syscall_pools import (
+    INIT_ONLY_SYSCALLS,
+    LOADING_POOL,
+    POOLS,
+    PROCESSING_POOL,
+    STORING_POOL,
+    VISUALIZING_POOL,
+    pool_for,
+)
+
+
+def test_pool_sizes_match_table7():
+    # Table 7: Loading 43, Processing 22, Visualizing 56, Storing 27.
+    assert len(LOADING_POOL) == 43
+    assert len(PROCESSING_POOL) == 22
+    assert len(VISUALIZING_POOL) == 56
+    assert len(STORING_POOL) == 27
+
+
+def test_pool_for_rejects_neutral():
+    with pytest.raises(ValueError):
+        pool_for(APIType.NEUTRAL)
+
+
+def test_loading_and_processing_cannot_write_out():
+    # Section 5.3: loading/processing agents cannot write data to disk or
+    # other devices — that's what breaks exfiltration.
+    for name in ("write", "sendto", "sendmsg", "pwrite64", "writev"):
+        assert name not in LOADING_POOL, name
+        assert name not in PROCESSING_POOL, name
+
+
+def test_no_pool_allows_fork_or_exec():
+    for api_type, pool in POOLS.items():
+        for name in ("fork", "clone", "execve", "vfork"):
+            assert name not in pool, (api_type, name)
+
+
+def test_no_pool_allows_mprotect_or_shm_open():
+    # mprotect is init-phase only; shm_open is reserved to the runtime.
+    for api_type, pool in POOLS.items():
+        assert "mprotect" not in pool, api_type
+        assert "shm_open" not in pool, api_type
+
+
+def test_storing_can_write_files():
+    for name in ("openat", "write", "close"):
+        assert name in STORING_POOL
+
+
+def test_visualizing_can_reach_gui_socket():
+    for name in ("connect", "sendto", "select", "futex", "eventfd2"):
+        assert name in VISUALIZING_POOL
+
+
+def test_loading_can_reach_camera_and_receive():
+    for name in ("ioctl", "select", "recvfrom", "openat", "read", "mmap"):
+        assert name in LOADING_POOL
+
+
+def test_paper_named_syscalls_per_type():
+    # Spot checks against the partial lists printed in Table 7.
+    for name in ("bind", "fstat", "futex", "getcwd", "getpid", "listen",
+                 "mkdir", "openat", "recvfrom"):
+        assert name in LOADING_POOL, name
+    for name in ("getrandom", "gettimeofday", "open", "openat", "read",
+                 "close", "clock_gettime"):
+        assert name in PROCESSING_POOL, name
+    for name in ("access", "connect", "eventfd2", "futex", "getuid",
+                 "lseek", "select", "sendto"):
+        assert name in VISUALIZING_POOL, name
+    for name in ("accept", "close", "dup", "lstat", "mkdir", "umask",
+                 "uname", "unlink"):
+        assert name in STORING_POOL, name
+
+
+def test_init_only_set():
+    assert INIT_ONLY_SYSCALLS == {"mprotect", "connect"}
+
+
+def test_every_api_declared_syscalls_within_its_pool():
+    """Fig. 12: an agent's allowlist (the pool) covers every syscall its
+    APIs require; init-only syscalls are covered by the grace phase."""
+    for framework in FRAMEWORKS.values():
+        for api in framework:
+            spec = api.spec
+            if spec.ground_truth is APIType.NEUTRAL:
+                continue
+            pool = pool_for(spec.ground_truth)
+            missing = set(spec.syscalls) - pool
+            assert not missing, f"{spec.qualname}: {sorted(missing)}"
+            uncovered_init = (
+                set(spec.init_syscalls) - pool - INIT_ONLY_SYSCALLS
+            )
+            assert not uncovered_init, f"{spec.qualname}: {sorted(uncovered_init)}"
+
+
+def test_neutral_apis_fit_every_pool():
+    """Type-neutral APIs can run in any agent, so their syscalls must be
+    in the intersection of all pools."""
+    intersection = (
+        LOADING_POOL & PROCESSING_POOL & VISUALIZING_POOL & STORING_POOL
+    )
+    for framework in FRAMEWORKS.values():
+        for api in framework:
+            if api.spec.neutral:
+                missing = set(api.spec.syscalls) - intersection
+                assert not missing, f"{api.spec.qualname}: {sorted(missing)}"

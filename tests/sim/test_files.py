@@ -1,0 +1,94 @@
+"""Simulated filesystem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FileNotFoundInSim
+from repro.sim.files import SimFileSystem
+
+
+@pytest.fixture
+def fs():
+    return SimFileSystem()
+
+
+def test_write_then_read(fs):
+    fs.write_file("/a/b.png", [1, 2, 3])
+    assert fs.read_file("/a/b.png") == [1, 2, 3]
+
+
+def test_read_missing_raises(fs):
+    with pytest.raises(FileNotFoundInSim):
+        fs.read_file("/missing")
+
+
+def test_overwrite_bumps_version(fs):
+    fs.write_file("/f", "v1")
+    fs.write_file("/f", "v2")
+    assert fs.stat("/f").version == 2
+    assert fs.read_file("/f") == "v2"
+
+
+def test_nbytes_tracks_payload(fs):
+    fs.write_file("/arr", np.zeros((8, 8)))
+    assert fs.stat("/arr").nbytes == 512
+
+
+def test_exists(fs):
+    assert not fs.exists("/x")
+    fs.write_file("/x", 1)
+    assert fs.exists("/x")
+
+
+def test_unlink(fs):
+    fs.write_file("/x", 1)
+    fs.unlink("/x")
+    assert not fs.exists("/x")
+    with pytest.raises(FileNotFoundInSim):
+        fs.unlink("/x")
+
+
+def test_listdir_prefix(fs):
+    fs.write_file("/data/a", 1)
+    fs.write_file("/data/b", 2)
+    fs.write_file("/other/c", 3)
+    assert fs.listdir("/data/") == ["/data/a", "/data/b"]
+
+
+def test_tempfile_paths_unique(fs):
+    assert fs.tempfile() != fs.tempfile()
+
+
+def test_access_log_records_ops(fs):
+    fs.write_file("/f", 1, pid=7)
+    fs.read_file("/f", pid=8)
+    fs.unlink("/f", pid=9)
+    modes = [(a.pid, a.mode) for a in fs.access_log]
+    assert modes == [(7, "write"), (8, "read"), (9, "unlink")]
+
+
+def test_accesses_for_filters_by_path(fs):
+    fs.write_file("/a", 1)
+    fs.write_file("/b", 2)
+    fs.read_file("/a")
+    assert len(fs.accesses_for("/a")) == 2
+    assert len(fs.accesses_for("/b")) == 1
+
+
+def test_clear_log(fs):
+    fs.write_file("/a", 1)
+    fs.clear_log()
+    assert fs.access_log == []
+
+
+def test_total_bytes(fs):
+    fs.write_file("/a", np.zeros(4))
+    fs.write_file("/b", np.zeros(8))
+    assert fs.total_bytes == 96
+
+
+def test_snapshot_paths(fs):
+    fs.write_file("/a", 1)
+    fs.write_file("/a", 2)
+    fs.write_file("/b", 1)
+    assert fs.snapshot_paths() == {"/a": 2, "/b": 1}

@@ -1,0 +1,110 @@
+"""seccomp-like syscall filters: allowlists, sealing, fd checks."""
+
+import pytest
+
+from repro.errors import FilterSealed, SyscallDenied, UnknownSyscall
+from repro.sim.filters import FilterSpec, SyscallFilter, permissive_filter
+from repro.sim.syscalls import SYSCALL_TABLE, FD_CHECKED_SYSCALLS, lookup
+
+
+def test_allowlisted_call_passes():
+    f = SyscallFilter(allowed=["read", "write"])
+    f.check(1, "read")
+    f.check(1, "write")
+
+
+def test_unlisted_call_denied():
+    f = SyscallFilter(allowed=["read"])
+    with pytest.raises(SyscallDenied):
+        f.check(1, "write")
+    assert f.denials == 1
+
+
+def test_unknown_syscall_name_rejected_at_config():
+    f = SyscallFilter()
+    with pytest.raises(UnknownSyscall):
+        f.allow("not_a_syscall")
+
+
+def test_sealing_blocks_loosening():
+    f = SyscallFilter(allowed=["read"])
+    f.seal()
+    with pytest.raises(FilterSealed):
+        f.allow("write")
+    with pytest.raises(FilterSealed):
+        f.allow_during_init("mprotect")
+    with pytest.raises(FilterSealed):
+        f.restrict_fds([1])
+
+
+def test_init_only_allowed_during_init_phase():
+    f = SyscallFilter(allowed=["read"], init_only=["mprotect"])
+    f.check(1, "mprotect")  # init phase open
+    f.end_init_phase()
+    with pytest.raises(SyscallDenied):
+        f.check(1, "mprotect")
+
+
+def test_end_init_phase_permitted_after_sealing():
+    f = SyscallFilter(allowed=["read"], init_only=["connect"])
+    f.seal()
+    f.end_init_phase()  # tightening is always allowed
+    with pytest.raises(SyscallDenied):
+        f.check(1, "connect")
+
+
+def test_fd_restriction_applies_to_device_syscalls():
+    f = SyscallFilter(allowed=["ioctl", "read"], allowed_fds=[10])
+    f.check(1, "ioctl", fd=10)
+    with pytest.raises(SyscallDenied):
+        f.check(1, "ioctl", fd=20)
+
+
+def test_fd_restriction_ignores_non_device_syscalls():
+    f = SyscallFilter(allowed=["read"], allowed_fds=[10])
+    f.check(1, "read", fd=999)  # read is not fd-checked
+
+
+def test_fd_restriction_none_fd_passes():
+    f = SyscallFilter(allowed=["select"], allowed_fds=[30])
+    f.check(1, "select")  # fd unknown: allowed (argument not inspected)
+
+
+def test_would_allow_does_not_count_denial():
+    f = SyscallFilter(allowed=["read"])
+    decision = f.would_allow("write")
+    assert not decision.allowed
+    assert f.denials == 0
+
+
+def test_permissive_filter_allows_everything():
+    f = permissive_filter()
+    for name in list(SYSCALL_TABLE)[:20]:
+        f.check(1, name)
+
+
+def test_fd_checked_set_matches_paper():
+    assert FD_CHECKED_SYSCALLS == {"ioctl", "connect", "select", "fcntl"}
+    for name in FD_CHECKED_SYSCALLS:
+        assert lookup(name).needs_fd_check
+
+
+def test_filter_spec_builds_equivalent_filter():
+    spec = FilterSpec(
+        allowed=frozenset({"read", "close"}),
+        init_only=frozenset({"mprotect"}),
+        allowed_fds=frozenset({10}),
+    )
+    built = spec.build()
+    assert built.allowed_names == {"read", "close"}
+    assert built.init_only_names == {"mprotect"}
+    assert built.allowed_fds == {10}
+    assert not built.sealed
+
+
+def test_filter_spec_build_is_fresh_each_time():
+    spec = FilterSpec(allowed=frozenset({"read"}))
+    first = spec.build()
+    first.seal()
+    second = spec.build()
+    assert not second.sealed

@@ -1,0 +1,87 @@
+"""The ``python -m repro`` experiment driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_apps_lists_all_23(capsys):
+    code, out = run_cli(capsys, "apps")
+    assert code == 0
+    assert "OMRChecker" in out
+    assert "Semantic-Seg" in out
+    assert out.count("\n") >= 23
+
+
+def test_categorize_summary(capsys):
+    code, out = run_cli(capsys, "categorize", "json")
+    assert code == 0
+    assert "accuracy" in out
+    assert "100.0%" in out
+
+
+def test_categorize_verbose_lists_apis(capsys):
+    code, out = run_cli(capsys, "categorize", "gtk", "-v")
+    assert code == 0
+    assert "Gtk.RecentManager.get_items" in out
+
+
+def test_syscalls_prints_table7(capsys):
+    code, out = run_cli(capsys, "syscalls")
+    assert code == 0
+    assert "Loading (43)" in out
+    assert "Visualizing (56)" in out
+
+
+def test_overhead_selected_samples(capsys):
+    code, out = run_cli(capsys, "overhead", "--samples", "4,6", "--items", "1")
+    assert code == 0
+    assert "lbpcascade_anime" in out
+    assert "AVERAGE" in out
+
+
+def test_overhead_no_ldc_flag(capsys):
+    code, out = run_cli(capsys, "overhead", "--samples", "4",
+                        "--items", "1", "--no-ldc")
+    assert code == 0
+    assert "DISABLED" in out
+
+
+def test_attack_runs_both_modes(capsys):
+    code, out = run_cli(capsys, "attack", "CVE-2021-29618")
+    assert code == 0
+    assert "SUCCEEDED" in out     # unprotected
+    assert "prevented" in out     # freepart
+
+
+def test_attack_single_technique(capsys):
+    code, out = run_cli(capsys, "attack", "CVE-2017-12597",
+                        "--technique", "freepart")
+    assert code == 0
+    assert "none" not in out.splitlines()[3:][0]
+
+
+def test_motivating_row(capsys):
+    code, out = run_cli(capsys, "motivating", "--technique", "memory_based")
+    assert code == 0
+    assert "mem-write-template" in out
+    assert "FAILED" in out        # DoS attacks get through memory-based
+
+
+def test_studies(capsys):
+    code, out = run_cli(capsys, "studies")
+    assert code == 0
+    assert "241" not in ""  # smoke
+    assert "tensorflow" in out
+    assert "Table 3" in out

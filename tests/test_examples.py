@@ -1,0 +1,38 @@
+"""Every example script runs cleanly end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scripts():
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+    assert len(EXAMPLE_SCRIPTS) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys, monkeypatch):
+    # matplotlib-style module state in miniutil is process-global; keep
+    # each example run hermetic enough by running via runpy.
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), script  # every example prints its findings
+
+
+def test_quickstart_output_mentions_agents(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "4 agents" in out
+    assert "lazy" in out
+
+
+def test_omr_grading_shows_protection_contrast(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "omr_grading.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "template corrupted: True" in out    # unprotected
+    assert "template corrupted: False" in out   # FreePart

@@ -1,0 +1,96 @@
+"""End-to-end integration: the paper's headline results in miniature."""
+
+import pytest
+
+from repro.apps.base import Workload
+from repro.apps.suite import SAMPLE_IDS
+from repro.attacks.scenarios import run_motivating_example, run_table5_attacks
+from repro.bench.runner import average_overhead, overhead_sweep, run_under
+from repro.core.runtime import FreePartConfig
+
+WORKLOAD = Workload(items=2, image_size=16)
+SMOKE_SAMPLES = (1, 5, 8, 12, 16, 20, 23)
+
+
+def test_headline_overhead_band():
+    """Fig. 13: FreePart's average overhead is a few percent (paper: 3.68%,
+    per-app 2.6%-5.7%)."""
+    rows = overhead_sweep(SMOKE_SAMPLES, workload=WORKLOAD)
+    for row in rows:
+        assert 0.0 < row.overhead_percent < 8.0, row.app_name
+    assert 1.5 < average_overhead(rows) < 6.0
+
+
+def test_ldc_ablation_roughly_doubles_overhead():
+    """Section 5.2: disabling lazy data copy raises the overhead
+    substantially (paper: 3.68% -> 9.7%)."""
+    with_ldc = overhead_sweep(SMOKE_SAMPLES, workload=WORKLOAD)
+    without_ldc = overhead_sweep(
+        SMOKE_SAMPLES, workload=WORKLOAD, config=FreePartConfig(ldc=False)
+    )
+    assert average_overhead(without_ldc) > 1.7 * average_overhead(with_ldc)
+
+
+def test_lazy_copy_fraction_is_dominant():
+    """Table 12: ~95% of copy operations are lazy."""
+    total_lazy = 0
+    total = 0
+    for sample_id in SMOKE_SAMPLES:
+        from repro.apps.suite import make_app
+
+        report = run_under(make_app(sample_id), "freepart", WORKLOAD)
+        total_lazy += report.lazy_copies
+        total += report.lazy_copies + report.nonlazy_copies
+    assert total > 0
+    assert total_lazy / total > 0.85
+
+
+def test_all_table5_attacks_prevented():
+    """Section 5: all attacks composed of the Table 5 CVEs are mitigated."""
+    results = run_table5_attacks("freepart", workload=WORKLOAD)
+    assert all(r.prevented for r in results)
+
+
+def test_no_false_positives_on_benign_workloads():
+    """Correctness: benign test runs execute with no attack detections."""
+    from repro.apps.suite import make_app
+
+    for sample_id in SMOKE_SAMPLES:
+        report = run_under(make_app(sample_id), "freepart", WORKLOAD)
+        assert not report.failed, (sample_id, report.error)
+        assert report.crashes == 0, sample_id
+
+
+def test_freepart_uses_five_processes():
+    from repro.apps.suite import make_app
+
+    report = run_under(make_app(8), "freepart", WORKLOAD)
+    assert report.processes == 5
+
+
+def test_table1_matrix_shape():
+    """The comparative story of Table 1 in one assertion set."""
+    prevented = {}
+    for technique in ("none", "memory_based", "code_api", "lib_entire",
+                      "lib_individual", "freepart"):
+        verdict = run_motivating_example(technique)
+        prevented[technique] = sum(
+            1 for result in verdict.attacks.values() if result.prevented
+        )
+    assert prevented["none"] == 0
+    assert prevented["memory_based"] == 1
+    assert prevented["freepart"] == 5
+    assert prevented["lib_individual"] == 5
+    assert prevented["none"] < prevented["code_api"] < prevented["freepart"]
+    assert prevented["lib_entire"] < prevented["freepart"]
+
+
+def test_deterministic_reports():
+    """Two identical runs produce byte-identical virtual metrics."""
+    from repro.apps.suite import make_app
+
+    a = run_under(make_app(3), "freepart", WORKLOAD)
+    b = run_under(make_app(3), "freepart", WORKLOAD)
+    assert a.virtual_seconds == b.virtual_seconds
+    assert a.ipc_messages == b.ipc_messages
+    assert a.lazy_copies == b.lazy_copies

@@ -1,0 +1,105 @@
+"""Synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import SimKernel
+from repro.workloads import (
+    ImageDataset,
+    blob_image,
+    corpus,
+    gradient_image,
+    install_camera,
+    moving_blob_source,
+    noise_image,
+    omr_sheet,
+    score_table,
+    standard_eval_dataset,
+    static_scene_source,
+    token_ids,
+    token_sequence,
+)
+
+
+class TestImages:
+    def test_noise_image_deterministic(self):
+        assert np.array_equal(noise_image(1), noise_image(1))
+        assert not np.array_equal(noise_image(1), noise_image(2))
+
+    def test_noise_image_channels(self):
+        assert noise_image(1, size=8, channels=1).shape == (8, 8)
+        assert noise_image(1, size=8, channels=3).shape == (8, 8, 3)
+
+    def test_gradient_has_increasing_trend(self):
+        image = gradient_image(3, size=16)
+        assert image[15, 15] > image[0, 0]
+
+    def test_blob_image_has_bright_regions(self):
+        image = blob_image(4, size=16)
+        assert image.max() > 200
+        assert image.min() < 50
+
+    def test_omr_sheet_marks(self):
+        boxes = [[1, 1, 3, 3], [8, 8, 3, 3]]
+        sheet = omr_sheet(boxes, [True, False], size=16)
+        assert sheet[2, 2].mean() > 200
+        assert sheet[9, 9].mean() < 50
+
+    def test_dataset_materializes_files(self):
+        kernel = SimKernel()
+        dataset = ImageDataset(name="d", count=3, size=8)
+        paths = dataset.materialize(kernel)
+        assert len(paths) == 3
+        assert all(kernel.fs.exists(p) for p in paths)
+
+    def test_dataset_iteration_and_determinism(self):
+        dataset = ImageDataset(name="d", count=2, size=8, kind="blob", seed=9)
+        first = list(dataset)
+        second = list(dataset)
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_standard_eval_dataset(self):
+        dataset = standard_eval_dataset(items=4)
+        assert dataset.count == 4
+
+
+class TestVideo:
+    def test_moving_blob_moves(self):
+        source = moving_blob_source(size=16, step=2)
+        a, b = source(0), source(1)
+        assert not np.array_equal(a, b)
+
+    def test_static_scene_is_stable(self):
+        source = static_scene_source(size=8)
+        difference = np.abs(source(0) - source(1)).mean()
+        assert difference < 10
+
+    def test_install_camera(self):
+        kernel = SimKernel()
+        camera = install_camera(kernel, moving_blob_source(), frame_limit=2)
+        assert kernel.devices.camera is camera
+        camera.open()
+        assert camera.read_frame() is not None
+        camera.read_frame()
+        assert camera.read_frame() is None
+
+
+class TestText:
+    def test_token_sequence_deterministic(self):
+        assert token_sequence(1) == token_sequence(1)
+        assert len(token_sequence(1, length=10)) == 10
+
+    def test_token_ids_dtype(self):
+        ids = token_ids(2, length=8)
+        assert ids.dtype == np.int64
+
+    def test_corpus_written_to_fs(self):
+        kernel = SimKernel()
+        paths = corpus(kernel, documents=3, length=16)
+        assert len(paths) == 3
+        assert isinstance(kernel.fs.read_file(paths[0]), str)
+
+    def test_score_table_shape(self):
+        table = score_table(rows=5)
+        assert table[0] == ["sheet", "score"]
+        assert len(table) == 6
