@@ -1,0 +1,89 @@
+"""Serving throughput — pooled agents + batched RPC vs runtime-per-request.
+
+Not a paper table: this bench measures the PR 2 serving layer.  The
+naive baseline re-pays the full online-phase cost (host + four agent
+spawns, ~10 ms of virtual time) for every request; the pipeline server
+pays it once and amortizes.  Acceptance bar: pooled + batched sustains
+at least 2x the naive requests/sec at 8 concurrent tenants.
+
+All throughput/latency numbers come from the deterministic virtual
+clock; pytest-benchmark's wall time tracks the harness only.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.tables import render_table
+from repro.serve.bench import best_pooled, run_serving_benchmark
+
+TENANTS = 8
+REQUESTS = 2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_serving_benchmark(
+        tenants=TENANTS,
+        requests_per_tenant=REQUESTS,
+        pool_sizes=(1, 4),
+        batching_modes=(False, True),
+    )
+
+
+def _config(result, pool_size, batching):
+    for config in result["configs"]:
+        if config["pool_size"] == pool_size and config["batching"] == batching:
+            return config
+    raise AssertionError(f"missing config {pool_size}/{batching}")
+
+
+def test_serve_throughput_table(benchmark, result):
+    benchmark.pedantic(
+        run_serving_benchmark,
+        kwargs=dict(tenants=2, requests_per_tenant=1, pool_sizes=(2,),
+                    batching_modes=(True,)),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [c["name"], f"{c['requests_per_second']:.1f}",
+         f"{c['p50_latency_ms']:.3f}", f"{c['p99_latency_ms']:.3f}",
+         f"{c['speedup_vs_naive']:.2f}x"]
+        for c in result["configs"]
+    ]
+    emit(render_table(
+        f"Serving throughput — {TENANTS} tenants x {REQUESTS} requests",
+        ["configuration", "req/s", "p50 ms", "p99 ms", "speedup"],
+        rows,
+        note="virtual-clock time; naive = seed's runtime-per-request",
+    ))
+    emit(json.dumps(result, indent=2))
+
+
+def test_pooled_batched_clears_2x_bar(result):
+    """The PR's acceptance criterion, verbatim."""
+    naive = result["configs"][0]
+    assert naive["pool_size"] == 0
+    champion = best_pooled(result)
+    assert champion["batching"] is True
+    assert champion["speedup_vs_naive"] >= 2.0, champion
+
+
+def test_more_lanes_raise_throughput(result):
+    one = _config(result, pool_size=1, batching=True)
+    four = _config(result, pool_size=4, batching=True)
+    assert four["requests_per_second"] > one["requests_per_second"]
+
+
+def test_batching_helps_at_fixed_pool(result):
+    for pool_size in (1, 4):
+        off = _config(result, pool_size, batching=False)
+        on = _config(result, pool_size, batching=True)
+        assert on["requests_per_second"] >= off["requests_per_second"]
+        assert on["ipc_messages_saved"] > 0
+
+
+def test_every_pooled_config_beats_naive(result):
+    for config in result["configs"][1:]:
+        assert config["speedup_vs_naive"] > 1.0, config["name"]

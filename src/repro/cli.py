@@ -9,6 +9,7 @@
     python -m repro attack CVE-2017-12597        # one exploit, both modes
     python -m repro motivating --technique none  # Table 1 row
     python -m repro studies                      # Table 3 + Fig. 7
+    python -m repro serve-bench --tenants 8      # serving throughput JSON
 """
 
 from __future__ import annotations
@@ -188,6 +189,34 @@ def _cmd_studies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.bench import best_pooled, run_serving_benchmark
+
+    for flag, value in (("--tenants", args.tenants),
+                        ("--requests", args.requests),
+                        ("--pool-size", args.pool_size),
+                        ("--image-size", args.image_size)):
+        if value < 1:
+            print(f"repro serve-bench: error: {flag} must be >= 1, "
+                  f"got {value}", file=sys.stderr)
+            return 2
+    batching_modes = {
+        "on": (True,), "off": (False,), "both": (False, True),
+    }[args.batching]
+    result = run_serving_benchmark(
+        tenants=args.tenants,
+        requests_per_tenant=args.requests,
+        pool_sizes=(args.pool_size,),
+        batching_modes=batching_modes,
+        image_size=args.image_size,
+    )
+    result["best_pooled"] = best_pooled(result)["name"]
+    print(json.dumps(result, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -223,6 +252,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--technique", default="freepart")
 
     sub.add_parser("studies", help="Study 1 + Study 2 aggregates")
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="serving throughput: pooled+batched vs runtime-per-request",
+    )
+    p.add_argument("--tenants", type=int, default=8,
+                   help="concurrent tenants (default 8)")
+    p.add_argument("--requests", type=int, default=2,
+                   help="requests per tenant (default 2)")
+    p.add_argument("--pool-size", type=int, default=4,
+                   help="agents per API type in the pooled config (default 4)")
+    p.add_argument("--batching", choices=["on", "off", "both"],
+                   default="both",
+                   help="RPC batching mode(s) to measure (default both)")
+    p.add_argument("--image-size", type=int, default=16)
     return parser
 
 
@@ -234,6 +278,7 @@ _HANDLERS = {
     "attack": _cmd_attack,
     "motivating": _cmd_motivating,
     "studies": _cmd_studies,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

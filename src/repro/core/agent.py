@@ -18,7 +18,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.partitioner import Partition
-from repro.core.rpc import ObjectRef, ObjectStore, RpcRequest, RpcResponse, SequenceTracker
+from repro.core.rpc import (
+    BatchChain,
+    ObjectRef,
+    ObjectStore,
+    RpcBatchRequest,
+    RpcBatchResponse,
+    RpcRequest,
+    RpcResponse,
+    SequenceTracker,
+)
 from repro.errors import AgentUnavailable, StaleObjectRef
 from repro.frameworks.base import (
     DataObject,
@@ -152,6 +161,16 @@ class AgentProcess:
         ldc: bool,
     ) -> RpcResponse:
         """Run one API request inside this agent's process."""
+        return self._execute_raw(api, request, resolve_ref, ldc)[0]
+
+    def _execute_raw(
+        self,
+        api: FrameworkAPI,
+        request: RpcRequest,
+        resolve_ref: RefResolver,
+        ldc: bool,
+    ) -> Tuple[RpcResponse, Any]:
+        """Run a request; also return the un-wrapped result for chaining."""
         self.require_alive()
         self.sequence.record_execution(request.seq)
         self.stats.requests += 1
@@ -170,8 +189,74 @@ class AgentProcess:
             ref = self.store.register(
                 result, state_label=request.state_label, tag=api.spec.qualname
             )
-            return RpcResponse(seq=request.seq, value=ref)
-        return RpcResponse(seq=request.seq, value=result)
+            return RpcResponse(seq=request.seq, value=ref), result
+        return RpcResponse(seq=request.seq, value=result), result
+
+    def execute_batch(
+        self,
+        apis: "List[FrameworkAPI]",
+        batch: RpcBatchRequest,
+        resolve_ref: RefResolver,
+        ldc: bool,
+    ) -> RpcBatchResponse:
+        """Run a coalesced group of requests in one dispatch.
+
+        Items execute in order; a crash mid-batch propagates after the
+        completed prefix has already mutated agent state, exactly like a
+        partially processed ring buffer would.  ``apis`` pairs positionally
+        with ``batch.requests``.  :class:`BatchChain` placeholder arguments
+        are resolved against earlier items' raw results *inside* this
+        process, so chained intermediates never touch the IPC path.
+        """
+        if len(apis) != len(batch.requests):
+            raise ValueError(
+                f"batch shape mismatch: {len(apis)} APIs for "
+                f"{len(batch.requests)} requests"
+            )
+        raw_results: List[Any] = []
+        responses: List[RpcResponse] = []
+        for index, (api, request) in enumerate(zip(apis, batch.requests)):
+            request = self._resolve_chains(request, index, raw_results)
+            response, raw = self._execute_raw(api, request, resolve_ref, ldc)
+            raw_results.append(raw)
+            responses.append(response)
+        return RpcBatchResponse(responses=tuple(responses))
+
+    def _resolve_chains(
+        self, request: RpcRequest, index: int, raw_results: List[Any]
+    ) -> RpcRequest:
+        """Substitute BatchChain placeholders with earlier raw results."""
+
+        def resolve(value: Any) -> Any:
+            if isinstance(value, BatchChain):
+                at = index - value.offset
+                if at < 0 or at >= len(raw_results):
+                    raise ValueError(
+                        f"batch item {index} chains to item {at}, which "
+                        "has not executed"
+                    )
+                return raw_results[at]
+            if isinstance(value, (list, tuple)):
+                resolved = [resolve(item) for item in value]
+                return (
+                    type(value)(resolved)
+                    if isinstance(value, tuple)
+                    else resolved
+                )
+            return value
+
+        has_chain = any(
+            isinstance(v, BatchChain) for v in request.args
+        ) or any(isinstance(v, BatchChain) for _, v in request.kwargs)
+        if not has_chain:
+            return request
+        import dataclasses as _dc
+
+        return _dc.replace(
+            request,
+            args=tuple(resolve(v) for v in request.args),
+            kwargs=tuple((k, resolve(v)) for k, v in request.kwargs),
+        )
 
     def _materialize(
         self, value: Any, resolve_ref: RefResolver, state_label: str

@@ -41,6 +41,20 @@ class CallRecord:
     api_type: APIType
 
 
+@dataclass(frozen=True)
+class ApiCall:
+    """One framework API invocation described as data (not yet dispatched).
+
+    The serving layer ships whole pipelines as sequences of these so the
+    gateway can coalesce adjacent same-agent calls into batched IPC.
+    """
+
+    framework: str
+    name: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+
 @dataclass
 class GatewayStats:
     """Counters every gateway keeps (Table 6 / Table 12 inputs)."""
@@ -95,6 +109,18 @@ class ApiGateway(abc.ABC):
     @abc.abstractmethod
     def materialize(self, value: Any) -> Any:
         """Bring a (possibly remote) result's data into the host program."""
+
+    def call_many(self, calls: "List[ApiCall]") -> List[Any]:
+        """Dispatch a sequence of calls, returning one result per call.
+
+        The default simply loops over :meth:`call`; gateways that can
+        coalesce adjacent same-agent calls into one IPC round trip (the
+        serving layer's batching) override this.
+        """
+        return [
+            self.call(c.framework, c.name, *c.args, **dict(c.kwargs))
+            for c in calls
+        ]
 
     def _resolve_api(self, framework: str, name: str) -> FrameworkAPI:
         return get_api(framework, name)

@@ -102,6 +102,74 @@ class RpcResponse:
         return 64 + payload_nbytes(self.value)
 
 
+#: Wire size of the batch envelope (count + flags + checksum).
+BATCH_HEADER_BYTES = 32
+#: Per-item framing inside a batch (offset + length of each part).
+BATCH_ITEM_FRAME_BYTES = 16
+#: Header bytes every RpcRequest carries (see RpcRequest.nbytes).
+REQUEST_HEADER_BYTES = 96
+#: Header bytes every RpcResponse carries (see RpcResponse.nbytes).
+RESPONSE_HEADER_BYTES = 64
+
+
+@dataclass(frozen=True)
+class BatchChain:
+    """A placeholder argument: "the result of an earlier item in this batch".
+
+    ``offset`` counts backwards (1 = the immediately preceding item).
+    Chained intermediates are resolved *inside* the agent during batch
+    execution, so they never cross the IPC boundary at all — the
+    strongest form of the lazy-data-copy argument.
+    """
+
+    offset: int = 1
+
+    #: Wire size of the placeholder (an index, not data).
+    nbytes: int = 16
+
+
+@dataclass(frozen=True)
+class RpcBatchRequest:
+    """Several adjacent same-agent requests framed as ONE IPC message.
+
+    The serving layer coalesces consecutive calls a request makes to the
+    same agent so the whole group pays one ring-buffer round trip instead
+    of one per call.  Framing is exact: a 32-byte batch envelope plus a
+    16-byte offset/length frame per item, with each item's own header and
+    payload bytes unchanged — so byte accounting stays honest while the
+    *message count* (and its fixed per-message latency) collapses.
+    """
+
+    requests: Tuple[RpcRequest, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def nbytes(self) -> int:
+        total = BATCH_HEADER_BYTES
+        for request in self.requests:
+            total += BATCH_ITEM_FRAME_BYTES + request.nbytes
+        return total
+
+
+@dataclass(frozen=True)
+class RpcBatchResponse:
+    """The per-item results of a batch, framed as ONE IPC message."""
+
+    responses: Tuple[RpcResponse, ...]
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    @property
+    def nbytes(self) -> int:
+        total = BATCH_HEADER_BYTES
+        for response in self.responses:
+            total += BATCH_ITEM_FRAME_BYTES + response.nbytes
+        return total
+
+
 class SequenceTracker:
     """Enforces exactly-once delivery per channel.
 

@@ -107,6 +107,56 @@ class SecurityEvent:
     at_ns: int
 
 
+def build_filter_specs(
+    plan: PartitionPlan,
+    categorization: Categorization,
+    config: FreePartConfig,
+) -> Dict[int, Any]:
+    """Per-partition seccomp filter specs (shared by gateways and pools)."""
+    path_policies = config.path_policies or {}
+    return {
+        partition.index: filter_spec_for_partition(
+            partition,
+            categorization,
+            # Manually sub-partitioned agents (labelled "type#n") get
+            # tight per-group filters (Appendix A.6); full-type agents
+            # get the Table 7 pool.
+            widen_to_pool=config.widen_to_pool and "#" not in partition.label,
+            path_prefixes=path_policies.get(partition.api_type),
+        )
+        for partition in plan.partitions
+    }
+
+
+def build_agents(
+    kernel: SimKernel,
+    plan: PartitionPlan,
+    categorization: Categorization,
+    config: FreePartConfig,
+    name_suffix: str = "",
+) -> Dict[int, AgentProcess]:
+    """Spawn one agent process per partition.
+
+    The one-shot gateway calls this once; the serving layer calls it
+    ``pool_size`` times per partition to stock its shared agent pools.
+    """
+    filter_specs = build_filter_specs(plan, categorization, config)
+    agents = {
+        partition.index: AgentProcess(
+            kernel,
+            partition,
+            filter_spec=filter_specs.get(partition.index),
+            restrict_syscalls=config.restrict_syscalls,
+            max_restarts=config.max_restarts_per_agent,
+        )
+        for partition in plan.partitions
+    }
+    if name_suffix:
+        for agent in agents.values():
+            agent.process.name = f"{agent.process.name}:{name_suffix}"
+    return agents
+
+
 class FreePartGateway(ApiGateway):
     """The online runtime: hooked API dispatch with enforcement."""
 
@@ -117,6 +167,7 @@ class FreePartGateway(ApiGateway):
         plan: PartitionPlan,
         categorization: Categorization,
         config: FreePartConfig,
+        agents: Optional[Dict[int, AgentProcess]] = None,
     ) -> None:
         super().__init__(kernel, host)
         self.plan = plan
@@ -126,29 +177,14 @@ class FreePartGateway(ApiGateway):
         self.host_store = ObjectStore(host)
         self._host_refs: Dict[int, ObjectRef] = {}
         self._annotations = {a.tag: a for a in config.annotations}
-        path_policies = config.path_policies or {}
-        filter_specs = {
-            partition.index: filter_spec_for_partition(
-                partition,
-                categorization,
-                # Manually sub-partitioned agents (labelled "type#n") get
-                # tight per-group filters (Appendix A.6); full-type agents
-                # get the Table 7 pool.
-                widen_to_pool=config.widen_to_pool and "#" not in partition.label,
-                path_prefixes=path_policies.get(partition.api_type),
-            )
-            for partition in plan.partitions
-        }
-        self.agents: Dict[int, AgentProcess] = {
-            partition.index: AgentProcess(
-                kernel,
-                partition,
-                filter_spec=filter_specs.get(partition.index),
-                restrict_syscalls=config.restrict_syscalls,
-                max_restarts=config.max_restarts_per_agent,
-            )
-            for partition in plan.partitions
-        }
+        #: Agents may be injected (leased from a serving pool) instead of
+        #: spawned per gateway; the gateway then shares, not owns, them.
+        self.owns_agents = agents is None
+        self.agents: Dict[int, AgentProcess] = (
+            build_agents(kernel, plan, categorization, config)
+            if agents is None
+            else agents
+        )
         self.machine = TemporalStateMachine(
             processes=self._all_processes,
             enforce=config.enforce_permissions,
@@ -191,8 +227,8 @@ class FreePartGateway(ApiGateway):
     # Hooked API dispatch
     # ------------------------------------------------------------------
 
-    def call(self, framework: str, name: str, *args: Any, **kwargs: Any) -> Any:
-        """Hooked dispatch: route the API to its agent with enforcement."""
+    def _route(self, framework: str, name: str):
+        """Resolve an API, advance the state machine, pick its partition."""
         api = self._resolve_api(framework, name)
         spec = api.spec
         entry = self.categorization.get(spec.qualname)
@@ -214,7 +250,10 @@ class FreePartGateway(ApiGateway):
             framework=spec.framework, name=spec.name,
             qualname=spec.qualname, api_type=effective_type,
         ))
+        return api, partition
 
+    def _ensure_agent(self, partition) -> AgentProcess:
+        """The partition's agent, restarted first if it crashed."""
         agent = self.agents[partition.index]
         if not agent.alive:
             if not self.config.restart_agents:
@@ -222,6 +261,13 @@ class FreePartGateway(ApiGateway):
                     f"agent {partition.label!r} crashed and restart is disabled"
                 )
             agent.restart()  # raises AgentUnavailable past the restart cap
+        return agent
+
+    def call(self, framework: str, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Hooked dispatch: route the API to its agent with enforcement."""
+        api, partition = self._route(framework, name)
+        spec = api.spec
+        agent = self._ensure_agent(partition)
 
         request = self._build_request(agent, spec.qualname, args, kwargs)
         agent.channel.request.send(self.host.pid, "request", request)
@@ -238,8 +284,10 @@ class FreePartGateway(ApiGateway):
         agent.channel.response.send(agent.process.pid, "response", response)
         agent.channel.response.receive()
         self._maybe_end_init(agent)
+        return self._finish_value(agent, spec, response.value)
 
-        value = response.value
+    def _finish_value(self, agent: AgentProcess, spec, value: Any) -> Any:
+        """Post-process one response value back into the host's view."""
         if isinstance(value, ObjectRef):
             return RemoteHandle(value)
         if not self.config.ldc and isinstance(value, DataObject):
@@ -394,7 +442,13 @@ class FreePartGateway(ApiGateway):
     # ------------------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Close channels and exit all agent processes."""
+        """Close channels and exit all agent processes.
+
+        Gateways running over *leased* pool agents leave them alone — the
+        pool owns their lifecycle and will reuse them for other tenants.
+        """
+        if not self.owns_agents:
+            return
         for agent in self.agents.values():
             agent.channel.close()
             if agent.process.alive:

@@ -78,7 +78,16 @@ class ChannelClosed(SimulationError):
 
 
 class ChannelFull(SimulationError):
-    """The ring buffer backing an IPC channel ran out of capacity."""
+    """The ring buffer backing an IPC channel ran out of capacity.
+
+    ``permanent`` distinguishes a message that exceeds the channel's total
+    capacity (it can never be delivered; retrying would loop forever) from
+    transient fullness that draining the queue resolves.
+    """
+
+    def __init__(self, message: str = "", permanent: bool = False) -> None:
+        self.permanent = permanent
+        super().__init__(message)
 
 
 class FileSystemError(SimulationError):
@@ -142,6 +151,32 @@ class StaleObjectRef(RuntimeSupportError):
 
 class AnnotationError(RuntimeSupportError):
     """A user annotation of a protected data structure is invalid."""
+
+
+class ServeError(RuntimeSupportError):
+    """Base class for failures of the multi-tenant serving layer."""
+
+
+class TenantIsolationError(ServeError):
+    """A tenant presented an ObjectRef it does not own.
+
+    The serving layer namespaces every reference minted for a tenant;
+    replaying another tenant's (or a stale generation's) reference is
+    treated as an attack on the sharing boundary, not a recoverable
+    error — the request is rejected outright.
+    """
+
+
+class AdmissionRejected(ServeError):
+    """The admission controller refused to enqueue a request.
+
+    Raised when the bounded request queue is at capacity or the tenant
+    exceeded its fair-share pending budget (backpressure to the client).
+    """
+
+
+class RequestTimeout(ServeError):
+    """A queued request's virtual-clock deadline passed before dispatch."""
 
 
 class AttackBlocked(ReproError):

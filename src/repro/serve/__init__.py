@@ -1,0 +1,51 @@
+"""``repro.serve`` — FreePart as a multi-tenant pipeline service.
+
+The one-shot runtime (:mod:`repro.core.runtime`) spawns a fresh host and
+agent set per run; this subsystem turns it into a serving layer that
+amortizes those costs across many tenants and requests:
+
+* :class:`~repro.serve.server.PipelineServer` — the service: shared
+  per-API-type agent pools, bounded fair-share admission, batched RPC,
+  per-tenant ObjectRef namespacing;
+* :class:`~repro.serve.server.NaiveServer` — the one-runtime-per-request
+  baseline the throughput benchmark compares against;
+* :data:`~repro.serve.batching.PREV` — the pipeline-chaining sentinel
+  ("the previous call's result") that batching resolves agent-locally.
+"""
+
+from repro.core.gateway import ApiCall
+from repro.serve.admission import AdmissionQueue
+from repro.serve.batching import PREV, BatchGroup, BatchingStats, plan_batches
+from repro.serve.gateway import ServeGateway
+from repro.serve.metrics import RequestTiming, ServingTimeline
+from repro.serve.pool import AgentPool, PoolMember, PoolSet
+from repro.serve.server import (
+    NaiveServer,
+    PipelineServer,
+    ServeRequest,
+    ServeResponse,
+    run_pipeline,
+)
+from repro.serve.tenancy import Tenant, TenantRegistry
+
+__all__ = [
+    "AdmissionQueue",
+    "AgentPool",
+    "ApiCall",
+    "BatchGroup",
+    "BatchingStats",
+    "NaiveServer",
+    "PREV",
+    "PipelineServer",
+    "PoolMember",
+    "PoolSet",
+    "RequestTiming",
+    "ServeGateway",
+    "ServeRequest",
+    "ServeResponse",
+    "ServingTimeline",
+    "Tenant",
+    "TenantRegistry",
+    "plan_batches",
+    "run_pipeline",
+]

@@ -1,0 +1,188 @@
+"""Shared per-API-type agent pools.
+
+The one-shot runtime spawns four fresh agents per run and tears them down
+afterwards; at serving scale that spawn cost (milliseconds of virtual
+time per process) dominates small requests.  A pool spawns ``size``
+agents per partition once, leases one agent of each type to a request,
+and returns them afterwards — the paper's agents are stateless or
+periodically checkpointed RPC servers (Sections 4.3–4.4), which is what
+makes this reuse sound.
+
+Crash handling: a leased agent that dies is restarted *in place* by the
+pool (fresh process, fresh address space, sealed filter — the paper's
+Section 4.4.2 restart), so the pool never shrinks and other members'
+in-flight work is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.agent import AgentProcess
+from repro.core.hybrid import Categorization
+from repro.core.partitioner import PartitionPlan
+from repro.core.runtime import FreePartConfig, build_agents
+from repro.errors import AgentUnavailable
+from repro.sim.kernel import SimKernel
+
+
+@dataclass
+class PoolStats:
+    """Counters one partition's pool keeps across its lifetime."""
+
+    leases: int = 0
+    returns: int = 0
+    restarts: int = 0
+    crashes_repaired: int = 0
+
+
+class PoolMember:
+    """One pooled agent plus its lease bookkeeping."""
+
+    __slots__ = ("agent", "slot", "leased_to", "busy_until_ns")
+
+    def __init__(self, agent: AgentProcess, slot: int) -> None:
+        self.agent = agent
+        self.slot = slot
+        self.leased_to: Optional[str] = None  # tenant id while leased
+        #: Virtual time at which this member's current work completes —
+        #: the serving timeline model uses it to compute queueing delay.
+        self.busy_until_ns: int = 0
+
+    @property
+    def leased(self) -> bool:
+        return self.leased_to is not None
+
+
+class AgentPool:
+    """A fixed-size pool of interchangeable agents for ONE partition."""
+
+    def __init__(self, members: List[PoolMember]) -> None:
+        if not members:
+            raise ValueError("an agent pool needs at least one member")
+        self.members = members
+        self.stats = PoolStats()
+        self._next = 0  # round-robin cursor over free members
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def partition(self):
+        return self.members[0].agent.partition
+
+    def lease(self, tenant_id: str) -> PoolMember:
+        """Lease a free member (round-robin), repairing dead ones.
+
+        Raises :class:`AgentUnavailable` when every member is leased —
+        the admission controller sizes in-flight work so this is a bug,
+        not an expected backpressure path.
+        """
+        for _ in range(self.size):
+            member = self.members[self._next % self.size]
+            self._next += 1
+            if member.leased:
+                continue
+            if not member.agent.alive:
+                # Died between leases (e.g. a crash observed at return
+                # time with repair deferred): repair before handing out.
+                member.agent.restart()
+                self.stats.restarts += 1
+                self.stats.crashes_repaired += 1
+            member.leased_to = tenant_id
+            self.stats.leases += 1
+            return member
+        raise AgentUnavailable(
+            f"pool for partition {self.partition.label!r} has no free "
+            f"member ({self.size} leased)"
+        )
+
+    def restore(self, member: PoolMember) -> None:
+        """Return a member to the pool, repairing it if the request
+        crashed it.  The pool never shrinks: a crash costs one restart,
+        not a pool slot."""
+        if not member.agent.alive:
+            member.agent.restart()
+            self.stats.restarts += 1
+            self.stats.crashes_repaired += 1
+        member.leased_to = None
+        self.stats.returns += 1
+
+    def free_count(self) -> int:
+        return sum(1 for m in self.members if not m.leased)
+
+
+class PoolSet:
+    """One :class:`AgentPool` per partition of a plan."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        plan: PartitionPlan,
+        categorization: Categorization,
+        config: FreePartConfig,
+        size: int = 2,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.kernel = kernel
+        self.plan = plan
+        self.size = size
+        columns: Dict[int, List[PoolMember]] = {
+            partition.index: [] for partition in plan.partitions
+        }
+        # Spawn size × |partitions| agents up front; this is the one-time
+        # cost the serving layer amortizes across every future request.
+        for slot in range(size):
+            agents = build_agents(
+                kernel, plan, categorization, config,
+                name_suffix=f"pool{slot}",
+            )
+            for index, agent in agents.items():
+                columns[index].append(PoolMember(agent, slot))
+        self.pools: Dict[int, AgentPool] = {
+            index: AgentPool(members) for index, members in columns.items()
+        }
+
+    def lease_set(self, tenant_id: str, slot_hint: Optional[int] = None
+                  ) -> Dict[int, PoolMember]:
+        """Lease one agent per partition (a full four-type set).
+
+        ``slot_hint`` biases the round-robin so consecutive requests
+        spread over distinct members, exercising the whole pool.
+        """
+        leased: Dict[int, PoolMember] = {}
+        try:
+            for index, pool in self.pools.items():
+                if slot_hint is not None:
+                    pool._next = slot_hint
+                leased[index] = pool.lease(tenant_id)
+        except AgentUnavailable:
+            for index, member in leased.items():
+                self.pools[index].restore(member)
+            raise
+        return leased
+
+    def restore_set(self, leased: Dict[int, PoolMember]) -> None:
+        for index, member in leased.items():
+            self.pools[index].restore(member)
+
+    def total_restarts(self) -> int:
+        """Restarts across every pooled agent, however they were repaired
+        (pool-side on lease/restore, or in place by a gateway's crash
+        handler mid-request)."""
+        return sum(
+            member.agent.stats.restarts
+            for pool in self.pools.values()
+            for member in pool.members
+        )
+
+    def shutdown(self) -> None:
+        """Exit every pooled agent and close its channels."""
+        for pool in self.pools.values():
+            for member in pool.members:
+                member.agent.channel.close()
+                if member.agent.process.alive:
+                    member.agent.process.exit()

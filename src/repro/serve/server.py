@@ -1,0 +1,399 @@
+"""The pipeline server: FreePart as a multi-tenant service.
+
+One :class:`PipelineServer` owns a simulated machine, runs the offline
+analysis ONCE, stocks shared per-API-type agent pools ONCE, and then
+serves pipeline requests from many tenants:
+
+* requests enter through the :class:`~repro.serve.admission.AdmissionQueue`
+  (bounded, per-tenant fair share, virtual-clock deadlines);
+* a dispatched request leases one agent per API type from the pools,
+  runs its call sequence through a tenant-scoped
+  :class:`~repro.serve.gateway.ServeGateway` (batched IPC when enabled),
+  and returns the lease;
+* a crash costs one in-place restart and an at-least-once retry of the
+  victim request — the pool, and every other tenant's work, is
+  untouched.
+
+:class:`NaiveServer` is the contrast baseline: the seed's
+one-runtime-per-request model (fresh host + four fresh agents, torn down
+after every request) behind the same interface, which is what the
+serving-throughput benchmark measures the pools against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.gateway import ApiCall
+from repro.core.runtime import FreePart, FreePartConfig
+from repro.errors import (
+    AdmissionRejected,
+    FrameworkCrash,
+    RequestTimeout,
+    TenantIsolationError,
+)
+from repro.frameworks.base import FrameworkAPI
+from repro.serve.admission import AdmissionQueue
+from repro.serve.batching import BatchingStats
+from repro.serve.gateway import ServeGateway
+from repro.serve.metrics import ServingTimeline
+from repro.serve.pool import PoolSet
+from repro.serve.tenancy import Tenant, TenantRegistry
+from repro.sim.kernel import SimKernel
+
+
+def run_pipeline(gateway, calls: Sequence[ApiCall]) -> List[Any]:
+    """Dispatch a call sequence per-call, resolving PREV to prior results.
+
+    Used by gateways without native pipeline support (the naive baseline
+    and the unprotected reference path); :class:`ServeGateway` has its own
+    batched implementation.
+    """
+    from repro.serve.batching import PREV
+
+    results: List[Any] = []
+    for index, call in enumerate(calls):
+        def resolve(value: Any) -> Any:
+            if value is PREV:
+                if index == 0:
+                    raise ValueError("PREV used in the first call")
+                return results[index - 1]
+            return value
+
+        results.append(gateway.call(
+            call.framework, call.name,
+            *tuple(resolve(v) for v in call.args),
+            **{key: resolve(v) for key, v in call.kwargs},
+        ))
+    return results
+
+
+@dataclass
+class ServeRequest:
+    """One tenant's pipeline: an ordered sequence of API calls."""
+
+    request_id: int
+    tenant_id: str
+    calls: Tuple[ApiCall, ...]
+    deadline_ns: Optional[int] = None
+    enqueued_at_ns: int = 0
+    timed_out: bool = False
+
+
+@dataclass
+class ServeResponse:
+    """The outcome of one served request."""
+
+    request_id: int
+    tenant_id: str
+    ok: bool
+    values: Optional[List[Any]] = None
+    error: str = ""
+    timed_out: bool = False
+    retries: int = 0
+    service_ns: int = 0
+    latency_ns: int = 0
+
+
+class PipelineServer:
+    """Shared-pool, admission-controlled, batching pipeline service."""
+
+    def __init__(
+        self,
+        kernel: Optional[SimKernel] = None,
+        config: Optional[FreePartConfig] = None,
+        pool_size: int = 2,
+        batching: bool = True,
+        queue_capacity: int = 64,
+        per_tenant_limit: Optional[int] = None,
+        max_retries: int = 1,
+        used_apis: Optional[Sequence[FrameworkAPI]] = None,
+    ) -> None:
+        self.kernel = kernel if kernel is not None else SimKernel()
+        self.config = config if config is not None else FreePartConfig()
+        self.batching = batching
+        self.max_retries = max_retries
+        # Offline phase, once for every future request.
+        freepart = FreePart(kernel=self.kernel, config=self.config)
+        self.categorization = freepart.analyze(used_apis)
+        self.plan = freepart.build_plan(self.categorization)
+        # Online substrate, spawned once and shared.
+        self.pools = PoolSet(
+            self.kernel, self.plan, self.categorization, self.config,
+            size=pool_size,
+        )
+        self.queue = AdmissionQueue(
+            self.kernel.clock,
+            capacity=queue_capacity,
+            per_tenant_limit=per_tenant_limit,
+        )
+        self.registry = TenantRegistry()
+        self.batch_stats = BatchingStats()
+        self.timeline = ServingTimeline(lanes=pool_size)
+        self.tenants: Dict[str, Tenant] = {}
+        self._request_ids = itertools.count(1)
+        self.responses: List[ServeResponse] = []
+
+    # ------------------------------------------------------------------
+    # Tenants
+    # ------------------------------------------------------------------
+
+    def register_tenant(self, tenant_id: str) -> Tenant:
+        """Create (or fetch) a tenant and its persistent host process."""
+        tenant = self.tenants.get(tenant_id)
+        if tenant is None:
+            host = self.kernel.spawn(
+                f"tenant:{tenant_id}", role="host", charge=False
+            )
+            tenant = Tenant(tenant_id=tenant_id, host=host)
+            self.tenants[tenant_id] = tenant
+        return tenant
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        tenant_id: str,
+        calls: Sequence[ApiCall],
+        deadline_ns: Optional[int] = None,
+    ) -> ServeRequest:
+        """Admit a request (raises AdmissionRejected on backpressure)."""
+        tenant = self.register_tenant(tenant_id)
+        request = ServeRequest(
+            request_id=next(self._request_ids),
+            tenant_id=tenant_id,
+            calls=tuple(calls),
+            deadline_ns=deadline_ns,
+        )
+        self.queue.submit(request)  # stamps enqueued_at_ns
+        tenant.requests_submitted += 1
+        return request
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+
+    def drain(self) -> List[ServeResponse]:
+        """Serve every queued request (fair-share order); return results."""
+        served: List[ServeResponse] = []
+        while True:
+            request = self.queue.next_request()
+            if request is None:
+                break
+            served.append(self._dispatch(request))
+        self.responses.extend(served)
+        return served
+
+    def _dispatch(self, request: ServeRequest) -> ServeResponse:
+        tenant = self.tenants[request.tenant_id]
+        if request.timed_out:
+            tenant.requests_failed += 1
+            return ServeResponse(
+                request_id=request.request_id,
+                tenant_id=request.tenant_id,
+                ok=False,
+                timed_out=True,
+                error=(
+                    f"{RequestTimeout.__name__}: deadline "
+                    f"{request.deadline_ns} ns passed in queue"
+                ),
+            )
+
+        retries = 0
+        while True:
+            leased = self.pools.lease_set(
+                request.tenant_id, slot_hint=request.request_id
+            )
+            agents = {index: member.agent for index, member in leased.items()}
+            gateway = ServeGateway(
+                kernel=self.kernel,
+                tenant=tenant,
+                plan=self.plan,
+                categorization=self.categorization,
+                config=self.config,
+                agents=agents,
+                registry=self.registry,
+                batching=self.batching,
+                batch_stats=self.batch_stats,
+            )
+            started_ns = self.kernel.clock.now_ns
+            try:
+                values = gateway.call_many(list(request.calls))
+            except FrameworkCrash as exc:
+                # The pool repaired the agent in place (restart); retry
+                # the whole request — at-least-once, like the one-shot
+                # runtime's post-restart re-execution.
+                self.pools.restore_set(leased)
+                if retries < self.max_retries:
+                    retries += 1
+                    continue
+                tenant.requests_failed += 1
+                return self._finish(
+                    request, started_ns, retries,
+                    ok=False, error=f"{type(exc).__name__}: {exc}",
+                )
+            except TenantIsolationError as exc:
+                self.pools.restore_set(leased)
+                tenant.isolation_violations += 1
+                tenant.requests_failed += 1
+                return self._finish(
+                    request, started_ns, retries,
+                    ok=False, error=f"{type(exc).__name__}: {exc}",
+                )
+            except Exception as exc:  # application-level failure
+                self.pools.restore_set(leased)
+                tenant.requests_failed += 1
+                return self._finish(
+                    request, started_ns, retries,
+                    ok=False, error=f"{type(exc).__name__}: {exc}",
+                )
+            self.pools.restore_set(leased)
+            tenant.requests_completed += 1
+            return self._finish(
+                request, started_ns, retries, ok=True, values=values
+            )
+
+    def _finish(
+        self,
+        request: ServeRequest,
+        started_ns: int,
+        retries: int,
+        ok: bool,
+        values: Optional[List[Any]] = None,
+        error: str = "",
+    ) -> ServeResponse:
+        service_ns = self.kernel.clock.now_ns - started_ns
+        timing = self.timeline.observe(
+            request.request_id, request.tenant_id,
+            arrival_ns=request.enqueued_at_ns, service_ns=service_ns,
+        )
+        return ServeResponse(
+            request_id=request.request_id,
+            tenant_id=request.tenant_id,
+            ok=ok,
+            values=values,
+            error=error,
+            retries=retries,
+            service_ns=service_ns,
+            latency_ns=timing.latency_ns,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting / teardown
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        summary = self.timeline.summary()
+        summary.update({
+            "pool_size": self.pools.size,
+            "batching": self.batching,
+            "pool_restarts": self.pools.total_restarts(),
+            "admission": {
+                "admitted": self.queue.stats.admitted,
+                "rejected_capacity": self.queue.stats.rejected_capacity,
+                "rejected_tenant_budget":
+                    self.queue.stats.rejected_tenant_budget,
+                "dispatched": self.queue.stats.dispatched,
+                "timed_out": self.queue.stats.timed_out,
+            },
+            "batching_stats": {
+                "calls": self.batch_stats.calls,
+                "batches": self.batch_stats.batches,
+                "messages_saved": self.batch_stats.messages_saved,
+                "chains_local": self.batch_stats.chains_local,
+            },
+            "tenant_refs_minted": self.registry.minted,
+            "isolation_checks": self.registry.checks,
+            "isolation_violations": self.registry.violations,
+        })
+        return summary
+
+    def shutdown(self) -> None:
+        self.pools.shutdown()
+
+
+class NaiveServer:
+    """The seed model behind the serving interface: one runtime per request.
+
+    Every dispatch pays the full online-phase cost — a fresh host, four
+    fresh agent spawns, teardown — exactly what
+    :class:`~repro.core.runtime.FreePart.deploy` does today.  The
+    serving benchmark's baseline.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[SimKernel] = None,
+        config: Optional[FreePartConfig] = None,
+        queue_capacity: int = 64,
+        used_apis: Optional[Sequence[FrameworkAPI]] = None,
+    ) -> None:
+        self.kernel = kernel if kernel is not None else SimKernel()
+        self.config = config if config is not None else FreePartConfig()
+        # The offline analysis is cacheable even naively; what the naive
+        # model cannot amortize is the per-request process spawning.
+        freepart = FreePart(kernel=self.kernel, config=self.config)
+        self.categorization = freepart.analyze(used_apis)
+        self.plan = freepart.build_plan(self.categorization)
+        self._freepart = freepart
+        self.queue = AdmissionQueue(self.kernel.clock, capacity=queue_capacity)
+        self.timeline = ServingTimeline(lanes=1)
+        self._request_ids = itertools.count(1)
+
+    def submit(
+        self,
+        tenant_id: str,
+        calls: Sequence[ApiCall],
+        deadline_ns: Optional[int] = None,
+    ) -> ServeRequest:
+        request = ServeRequest(
+            request_id=next(self._request_ids),
+            tenant_id=tenant_id,
+            calls=tuple(calls),
+            deadline_ns=deadline_ns,
+        )
+        self.queue.submit(request)
+        return request
+
+    def drain(self) -> List[ServeResponse]:
+        served: List[ServeResponse] = []
+        while True:
+            request = self.queue.next_request()
+            if request is None:
+                break
+            served.append(self._dispatch(request))
+        return served
+
+    def _dispatch(self, request: ServeRequest) -> ServeResponse:
+        started_ns = self.kernel.clock.now_ns
+        gateway = self._freepart.deploy(plan=self.plan)
+        ok, error, values = True, "", None
+        try:
+            values = run_pipeline(gateway, request.calls)
+        except Exception as exc:
+            ok, error = False, f"{type(exc).__name__}: {exc}"
+        finally:
+            gateway.shutdown()
+        service_ns = self.kernel.clock.now_ns - started_ns
+        timing = self.timeline.observe(
+            request.request_id, request.tenant_id,
+            arrival_ns=request.enqueued_at_ns, service_ns=service_ns,
+        )
+        return ServeResponse(
+            request_id=request.request_id,
+            tenant_id=request.tenant_id,
+            ok=ok,
+            values=values,
+            error=error,
+            service_ns=service_ns,
+            latency_ns=timing.latency_ns,
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        summary = self.timeline.summary()
+        summary.update({"pool_size": 0, "batching": False})
+        return summary

@@ -135,11 +135,29 @@ class Channel:
         self._queue.clear()
         self._queued_bytes = 0
 
+    def would_fit(self, nbytes: int) -> bool:
+        """Whether a message of ``nbytes`` fits in the free space right now."""
+        return self._queued_bytes + nbytes <= self.capacity_bytes
+
     def send(self, sender_pid: int, kind: str, payload: Any) -> Message:
-        """Frame and enqueue a message, charging virtual time."""
+        """Frame and enqueue a message, charging virtual time.
+
+        Raises :class:`ChannelFull` in two distinct situations that
+        backpressure loops must tell apart: a message *larger than the
+        ring buffer itself* can never fit no matter how much the receiver
+        drains (``permanent=True``), whereas a message that merely finds
+        the buffer momentarily full could be retried after a receive.
+        """
         if self._closed:
             raise ChannelClosed(f"channel {self.name!r} is closed")
         nbytes = payload_nbytes(payload)
+        if nbytes > self.capacity_bytes:
+            raise ChannelFull(
+                f"message of {nbytes} bytes exceeds channel {self.name!r} "
+                f"capacity ({self.capacity_bytes} bytes); it can never be "
+                "delivered — do not retry",
+                permanent=True,
+            )
         if self._queued_bytes + nbytes > self.capacity_bytes:
             raise ChannelFull(
                 f"channel {self.name!r} over capacity: "

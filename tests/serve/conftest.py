@@ -1,0 +1,41 @@
+"""Shared fixtures for the serving-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.gateway import ApiCall
+from repro.serve import PREV
+
+
+@pytest.fixture
+def image_pipeline():
+    """A standard 4-call pipeline: load → blur → threshold → store."""
+
+    def build(path: str, out: str):
+        return [
+            ApiCall("opencv", "imread", (path,)),
+            ApiCall("opencv", "GaussianBlur", (PREV,)),
+            ApiCall("opencv", "threshold", (PREV,)),
+            ApiCall("opencv", "imwrite", (out, PREV)),
+        ]
+
+    return build
+
+
+@pytest.fixture
+def seed_inputs():
+    """Write one input image per (tenant, request) into a server's fs."""
+
+    def seed(server, tenants: int, requests: int, size: int = 16):
+        rng = np.random.default_rng(0)
+        paths = {}
+        for t in range(tenants):
+            for r in range(requests):
+                path = f"/data/tenant-{t}/in-{r}.png"
+                server.kernel.fs.write_file(
+                    path, rng.normal(size=(size, size))
+                )
+                paths[(t, r)] = path
+        return paths
+
+    return seed

@@ -1,0 +1,137 @@
+"""Pool crash recovery: restart in place, retry at-least-once.
+
+A pooled agent killed mid-request must be restarted without shrinking
+the pool, the victim request must be retried (at-least-once execution),
+and every other tenant's in-flight work must complete untouched.
+"""
+
+import pytest
+
+from repro.errors import ProcessCrashed
+from repro.frameworks.registry import get_api
+from repro.serve import PipelineServer
+
+
+class CrashOnce:
+    """Wrap an API impl so its first N invocations kill the agent."""
+
+    def __init__(self, inner, crashes=1):
+        self.inner = inner
+        self.crashes = crashes
+        self.calls = 0
+
+    def __call__(self, ctx, *args, **kwargs):
+        self.calls += 1
+        if self.calls <= self.crashes:
+            ctx.process.crash("injected mid-request kill")
+            raise ProcessCrashed(ctx.process.pid, "injected mid-request kill")
+        return self.inner(ctx, *args, **kwargs)
+
+
+@pytest.fixture
+def server():
+    server = PipelineServer(pool_size=2, max_retries=1)
+    yield server
+    server.shutdown()
+
+
+def _submit_all(server, image_pipeline, seed_inputs, tenants=3):
+    paths = seed_inputs(server, tenants=tenants, requests=1)
+    for t in range(tenants):
+        server.submit(
+            f"tenant-{t}",
+            image_pipeline(paths[(t, 0)], f"/out/tenant-{t}/r0"),
+        )
+
+
+def test_crash_mid_request_is_retried_and_succeeds(
+    server, image_pipeline, seed_inputs, monkeypatch
+):
+    api = get_api("opencv", "GaussianBlur")
+    crasher = CrashOnce(api.impl, crashes=1)
+    monkeypatch.setattr(api, "impl", crasher)
+
+    _submit_all(server, image_pipeline, seed_inputs, tenants=3)
+    responses = server.drain()
+
+    by_tenant = {r.tenant_id: r for r in responses}
+    victim = by_tenant["tenant-0"]  # first dispatched, hits the crash
+    assert victim.ok, victim.error
+    assert victim.retries == 1
+    # At-least-once: the crashed call ran again on the fresh generation.
+    # 3 requests x 1 blur each, plus the one that died mid-flight.
+    assert crasher.calls == 4
+
+
+def test_pool_is_repaired_not_shrunk(
+    server, image_pipeline, seed_inputs, monkeypatch
+):
+    api = get_api("opencv", "GaussianBlur")
+    monkeypatch.setattr(api, "impl", CrashOnce(api.impl, crashes=1))
+
+    _submit_all(server, image_pipeline, seed_inputs, tenants=3)
+    server.drain()
+
+    assert server.pools.total_restarts() == 1
+    for pool in server.pools.pools.values():
+        assert pool.size == 2
+        assert pool.free_count() == 2  # every lease was returned
+        for member in pool.members:
+            assert member.agent.process.alive
+
+
+def test_other_tenants_unaffected_by_crash(
+    server, image_pipeline, seed_inputs, monkeypatch
+):
+    api = get_api("opencv", "GaussianBlur")
+    monkeypatch.setattr(api, "impl", CrashOnce(api.impl, crashes=1))
+
+    _submit_all(server, image_pipeline, seed_inputs, tenants=4)
+    responses = server.drain()
+
+    by_tenant = {r.tenant_id: r for r in responses}
+    for tenant_id, response in by_tenant.items():
+        assert response.ok, f"{tenant_id}: {response.error}"
+        if tenant_id != "tenant-0":
+            assert response.retries == 0
+    for t in range(4):
+        assert server.kernel.fs.exists(f"/out/tenant-{t}/r0")
+
+
+def test_persistent_crash_exhausts_retries(
+    server, image_pipeline, seed_inputs, monkeypatch
+):
+    api = get_api("opencv", "GaussianBlur")
+    # Crashes forever: retry budget (1) cannot save the request.
+    monkeypatch.setattr(api, "impl", CrashOnce(api.impl, crashes=10**9))
+
+    _submit_all(server, image_pipeline, seed_inputs, tenants=1)
+    responses = server.drain()
+
+    assert len(responses) == 1
+    assert not responses[0].ok
+    assert responses[0].retries == 1
+    assert "FrameworkCrash" in responses[0].error
+    # Even after repeated crashes the pool is whole again.
+    for pool in server.pools.pools.values():
+        assert pool.free_count() == pool.size
+
+
+def test_crash_evicts_dead_generation_refs(
+    server, image_pipeline, seed_inputs, monkeypatch
+):
+    api = get_api("opencv", "GaussianBlur")
+    monkeypatch.setattr(api, "impl", CrashOnce(api.impl, crashes=1))
+
+    _submit_all(server, image_pipeline, seed_inputs, tenants=1)
+    responses = server.drain()
+    assert responses[0].ok
+
+    # Refs surviving in the registry all point at live generations.
+    live = {
+        (member.agent.process.pid, member.agent.process.generation)
+        for pool in server.pools.pools.values()
+        for member in pool.members
+    }
+    for pid, generation, _buffer in server.registry._owners:
+        assert (pid, generation) in live

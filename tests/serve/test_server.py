@@ -1,0 +1,142 @@
+"""End-to-end serving: multi-tenant drain, isolation, timeouts, speedup."""
+
+import numpy as np
+import pytest
+
+from repro.core.gateway import ApiCall
+from repro.core.rpc import RemoteHandle
+from repro.errors import AdmissionRejected
+from repro.serve import PREV, NaiveServer, PipelineServer
+
+
+def test_multi_tenant_drain_all_succeed(image_pipeline, seed_inputs):
+    server = PipelineServer(pool_size=2)
+    paths = seed_inputs(server, tenants=4, requests=2)
+    for (t, r), path in paths.items():
+        server.submit(f"tenant-{t}", image_pipeline(path, f"/out/t{t}-r{r}"))
+    responses = server.drain()
+    assert len(responses) == 8
+    assert all(r.ok for r in responses), [r.error for r in responses]
+    for (t, r) in paths:
+        assert server.kernel.fs.exists(f"/out/t{t}-r{r}")
+    server.shutdown()
+
+
+def test_fair_share_interleaves_tenants(image_pipeline, seed_inputs):
+    server = PipelineServer(pool_size=2)
+    paths = seed_inputs(server, tenants=2, requests=2)
+    # Tenant 0 floods first; tenant 1 submits after.
+    for r in range(2):
+        server.submit("tenant-0", image_pipeline(paths[(0, r)], f"/out/a{r}"))
+    for r in range(2):
+        server.submit("tenant-1", image_pipeline(paths[(1, r)], f"/out/b{r}"))
+    order = [resp.tenant_id for resp in server.drain()]
+    assert order == ["tenant-0", "tenant-1", "tenant-0", "tenant-1"]
+    server.shutdown()
+
+
+def test_cross_tenant_ref_replay_is_rejected(seed_inputs):
+    """Tenant B replaying tenant A's RemoteHandle must be refused."""
+    server = PipelineServer(pool_size=2)
+    paths = seed_inputs(server, tenants=1, requests=1)
+    # Tenant A's pipeline ends without a store: the last value is a
+    # RemoteHandle into the shared processing agent.
+    server.submit("tenant-a", [
+        ApiCall("opencv", "imread", (paths[(0, 0)],)),
+        ApiCall("opencv", "GaussianBlur", (PREV,)),
+    ])
+    (first,) = server.drain()
+    assert first.ok
+    stolen = first.values[-1]
+    assert isinstance(stolen, RemoteHandle)
+
+    # Tenant B presents A's handle as its own input.
+    server.submit("tenant-b", [
+        ApiCall("opencv", "imwrite", ("/out/stolen.png", stolen)),
+    ])
+    (attack,) = server.drain()
+    assert not attack.ok
+    assert "TenantIsolationError" in attack.error
+    assert not server.kernel.fs.exists("/out/stolen.png")
+    assert server.registry.violations == 1
+    assert server.tenants["tenant-b"].isolation_violations == 1
+    # The rightful owner can still use its handle.
+    server.submit("tenant-a", [
+        ApiCall("opencv", "imwrite", ("/out/mine.png", stolen)),
+    ])
+    (legit,) = server.drain()
+    assert legit.ok, legit.error
+    assert server.kernel.fs.exists("/out/mine.png")
+    server.shutdown()
+
+
+def test_deadline_in_queue_times_out(image_pipeline, seed_inputs):
+    server = PipelineServer(pool_size=1)
+    paths = seed_inputs(server, tenants=1, requests=2)
+    server.submit(
+        "tenant-0", image_pipeline(paths[(0, 0)], "/out/slow"),
+    )
+    # Deadline already unreachable: the first request's service time
+    # (well over 1 virtual ns) will expire it while it waits.
+    doomed = server.submit(
+        "tenant-0", image_pipeline(paths[(0, 1)], "/out/late"),
+        deadline_ns=server.kernel.clock.now_ns + 1,
+    )
+    responses = server.drain()
+    by_id = {r.request_id: r for r in responses}
+    assert by_id[doomed.request_id].timed_out
+    assert not by_id[doomed.request_id].ok
+    assert "RequestTimeout" in by_id[doomed.request_id].error
+    server.shutdown()
+
+
+def test_admission_backpressure_rejects_submit(image_pipeline):
+    server = PipelineServer(pool_size=1, queue_capacity=1)
+    calls = image_pipeline("/data/x.png", "/out/x")
+    server.submit("tenant-0", calls)
+    with pytest.raises(AdmissionRejected):
+        server.submit("tenant-0", calls)
+    server.shutdown()
+
+
+def test_pooled_beats_naive_by_2x(image_pipeline):
+    """The acceptance bar: ≥2x requests/sec at 8 concurrent tenants."""
+    tenants, requests = 8, 2
+
+    def load(server):
+        rng = np.random.default_rng(1)
+        for t in range(tenants):
+            for r in range(requests):
+                path = f"/data/t{t}/in{r}.png"
+                server.kernel.fs.write_file(path, rng.normal(size=(16, 16)))
+                server.submit(
+                    f"tenant-{t}", image_pipeline(path, f"/out/t{t}-r{r}")
+                )
+        responses = server.drain()
+        assert all(resp.ok for resp in responses)
+        return server.stats()["requests_per_second"]
+
+    naive_rps = load(NaiveServer())
+    pooled = PipelineServer(pool_size=4, batching=True)
+    pooled_rps = load(pooled)
+    pooled.shutdown()
+    assert pooled_rps >= 2 * naive_rps
+
+
+def test_stats_shape(image_pipeline, seed_inputs):
+    server = PipelineServer(pool_size=2, batching=True)
+    paths = seed_inputs(server, tenants=2, requests=1)
+    for (t, r), path in paths.items():
+        server.submit(f"tenant-{t}", image_pipeline(path, f"/out/s{t}{r}"))
+    server.drain()
+    stats = server.stats()
+    assert stats["requests"] == 2
+    assert stats["lanes"] == 2
+    assert stats["requests_per_second"] > 0
+    assert stats["p99_latency_ms"] >= stats["p50_latency_ms"] > 0
+    assert stats["admission"]["admitted"] == 2
+    assert stats["admission"]["dispatched"] == 2
+    assert stats["batching_stats"]["batches"] >= 1
+    assert stats["tenant_refs_minted"] > 0
+    assert stats["per_tenant_requests"] == {"tenant-0": 1, "tenant-1": 1}
+    server.shutdown()

@@ -1,0 +1,65 @@
+"""Per-tenant ObjectRef namespacing: foreign, forged, and stale refs."""
+
+import pytest
+
+from repro.core.rpc import ObjectRef, RemoteHandle
+from repro.errors import TenantIsolationError
+from repro.serve.tenancy import TenantRegistry
+
+
+def _ref(pid=100, generation=0, buffer_id=1, payload=4096):
+    return ObjectRef(
+        owner_pid=pid, owner_generation=generation,
+        buffer_id=buffer_id, payload_bytes=payload,
+    )
+
+
+@pytest.fixture
+def registry():
+    return TenantRegistry()
+
+
+def test_owner_passes_check(registry):
+    ref = registry.mint("alice", _ref())
+    registry.check("alice", ref)  # no raise
+    assert registry.violations == 0
+
+
+def test_foreign_ref_raises(registry):
+    ref = registry.mint("alice", _ref())
+    with pytest.raises(TenantIsolationError, match="owned by tenant 'alice'"):
+        registry.check("mallory", ref)
+    assert registry.violations == 1
+
+
+def test_forged_ref_raises(registry):
+    with pytest.raises(TenantIsolationError, match="forged or stale"):
+        registry.check("mallory", _ref(buffer_id=999))
+
+
+def test_stale_ref_raises_after_eviction(registry):
+    ref = registry.mint("alice", _ref(pid=100, generation=0))
+    survivor = registry.mint("alice", _ref(pid=101, generation=0))
+    evicted = registry.evict_generation(pid=100, generation=0)
+    assert evicted == 1
+    # The dead generation's ref is gone even for its rightful owner...
+    with pytest.raises(TenantIsolationError, match="forged or stale"):
+        registry.check("alice", ref)
+    # ...while refs from other address spaces still resolve.
+    registry.check("alice", survivor)
+
+
+def test_check_value_recurses_into_containers(registry):
+    owned = registry.mint("alice", _ref(buffer_id=1))
+    foreign = registry.mint("bob", _ref(buffer_id=2))
+    registry.check_value("alice", [RemoteHandle(owned), "text", 3])
+    with pytest.raises(TenantIsolationError):
+        registry.check_value("alice", {"data": (RemoteHandle(foreign),)})
+
+
+def test_refs_of_counts_per_tenant(registry):
+    registry.mint("alice", _ref(buffer_id=1))
+    registry.mint("alice", _ref(buffer_id=2))
+    registry.mint("bob", _ref(buffer_id=3))
+    assert registry.refs_of("alice") == 2
+    assert registry.refs_of("bob") == 1

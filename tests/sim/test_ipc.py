@@ -51,6 +51,37 @@ def test_capacity_enforced(clock, accounting):
         channel.send(1, "m", np.zeros(8))
 
 
+def test_oversize_message_raises_immediately(clock, accounting):
+    """A message bigger than the whole ring buffer can never fit: the
+    channel must flag it as permanent so backpressure loops don't retry
+    forever waiting for a drain that cannot help."""
+    channel = Channel("tiny", clock, accounting, capacity_bytes=100)
+    with pytest.raises(ChannelFull) as excinfo:
+        channel.send(1, "m", np.zeros(64))  # 512 bytes > 100 capacity
+    assert excinfo.value.permanent
+    # The channel is untouched: nothing was enqueued or accounted.
+    assert channel.pending == 0
+    assert channel.queued_bytes == 0
+    assert accounting.messages == 0
+
+
+def test_transient_fullness_is_not_permanent(clock, accounting):
+    channel = Channel("tiny", clock, accounting, capacity_bytes=100)
+    channel.send(1, "m", np.zeros(8))  # 64 bytes
+    with pytest.raises(ChannelFull) as excinfo:
+        channel.send(1, "m", np.zeros(8))  # fits alone, not alongside
+    assert not excinfo.value.permanent
+    channel.receive()
+    channel.send(1, "m", np.zeros(8))  # drain resolved it
+
+
+def test_would_fit(clock, accounting):
+    channel = Channel("tiny", clock, accounting, capacity_bytes=100)
+    assert channel.would_fit(64)
+    channel.send(1, "m", np.zeros(8))
+    assert not channel.would_fit(64)
+
+
 def test_receive_frees_capacity(clock, accounting):
     channel = Channel("tiny", clock, accounting, capacity_bytes=100)
     channel.send(1, "m", np.zeros(8))

@@ -1,5 +1,7 @@
 """The ``python -m repro`` experiment driver."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -85,3 +87,35 @@ def test_studies(capsys):
     assert "241" not in ""  # smoke
     assert "tensorflow" in out
     assert "Table 3" in out
+
+
+def test_serve_bench_emits_json(capsys):
+    code, out = run_cli(capsys, "serve-bench",
+                        "--tenants", "2", "--requests", "1",
+                        "--pool-size", "2", "--batching", "on")
+    assert code == 0
+    result = json.loads(out)
+    assert result["workload"]["tenants"] == 2
+    names = [c["name"] for c in result["configs"]]
+    assert names[0] == "naive (runtime per request)"
+    assert "pooled x2, batching on" in names
+    pooled = result["configs"][1]
+    assert pooled["speedup_vs_naive"] > 1.0
+    assert result["best_pooled"] == pooled["name"]
+
+
+def test_serve_bench_batching_both_measures_two_pooled_configs(capsys):
+    code, out = run_cli(capsys, "serve-bench",
+                        "--tenants", "2", "--requests", "1",
+                        "--pool-size", "2")
+    assert code == 0
+    result = json.loads(out)
+    pooled = [c for c in result["configs"] if c["pool_size"] == 2]
+    assert {c["batching"] for c in pooled} == {True, False}
+
+
+def test_serve_bench_default_flags_parse():
+    args = build_parser().parse_args(["serve-bench"])
+    assert args.tenants == 8
+    assert args.pool_size == 4
+    assert args.batching == "both"
