@@ -1,0 +1,54 @@
+"""Static linter throughput — files/sec and findings over the corpus.
+
+Runs ``repro.staticcheck`` over the repo's own host programs
+(``examples/`` + ``src/repro/apps/``) and the purpose-built violation
+fixtures, reporting files scanned per second and the rule-findings
+histogram.  Later PRs track linter speed here the way the Fig. 13
+benches track runtime overhead.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.tables import render_table
+from repro.staticcheck import run_check
+from repro.staticcheck.checker import iter_python_files
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CORPUS = [
+    os.path.join(REPO, "examples"),
+    os.path.join(REPO, "src", "repro", "apps"),
+    os.path.join(REPO, "tests", "fixtures", "staticcheck"),
+]
+
+
+@pytest.mark.benchmark(group="staticcheck")
+def test_bench_staticcheck_throughput(benchmark):
+    file_count = len(iter_python_files(CORPUS))
+
+    result = benchmark.pedantic(
+        lambda: run_check(CORPUS), rounds=1, iterations=1
+    )
+
+    seconds = benchmark.stats.stats.mean
+    files_per_second = file_count / seconds if seconds else float("inf")
+    rows = [[rule, count] for rule, count in sorted(result.by_rule().items())]
+    rows.append(["files checked", result.files_checked])
+    rows.append(["files/sec", f"{files_per_second:,.0f}"])
+    rows.append(["errors", result.errors])
+    rows.append(["warnings", result.warnings])
+    emit(render_table(
+        "Static partition linter — corpus scan",
+        ["metric", "value"], rows,
+    ))
+
+    # The corpus includes every violating fixture: all six rule classes
+    # must surface, and the scan must cover the full file set.
+    assert result.files_checked == file_count
+    by_rule = result.by_rule()
+    for rule in ("frozen-write", "phase-order", "syscall-pool",
+                 "wrong-partition-deref", "dead-api", "uncategorizable",
+                 "tenant-ref-leak"):
+        assert by_rule.get(rule, 0) >= 1, rule

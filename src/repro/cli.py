@@ -10,6 +10,7 @@
     python -m repro motivating --technique none  # Table 1 row
     python -m repro studies                      # Table 3 + Fig. 7
     python -m repro serve-bench --tenants 8      # serving throughput JSON
+    python -m repro check examples/              # static partition linter
 """
 
 from __future__ import annotations
@@ -17,6 +18,10 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional, Sequence
+
+
+class CliUsageError(Exception):
+    """Bad command-line input: reported as a usage message, exit 2."""
 
 
 def _cmd_apps(args: argparse.Namespace) -> int:
@@ -90,7 +95,12 @@ def _parse_samples(text: Optional[str]) -> Sequence[int]:
 
     if not text:
         return SAMPLE_IDS
-    return [int(part) for part in text.split(",") if part]
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise CliUsageError(
+            f"--samples must be comma-separated integers, got {text!r}"
+        ) from None
 
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
@@ -217,6 +227,19 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.staticcheck import render_json, render_text, run_check
+
+    try:
+        result = run_check(args.paths)
+    except FileNotFoundError as exc:
+        raise CliUsageError(f"no such file or directory: {exc.args[0]}") \
+            from None
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(result))
+    return result.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -267,6 +290,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default="both",
                    help="RPC batching mode(s) to measure (default both)")
     p.add_argument("--image-size", type=int, default=16)
+
+    p = sub.add_parser(
+        "check",
+        help="static partition linter over host-program source",
+    )
+    p.add_argument("paths", nargs="+",
+                   help="files or directories to check")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (default text)")
     return parser
 
 
@@ -279,13 +311,35 @@ _HANDLERS = {
     "motivating": _cmd_motivating,
     "studies": _cmd_studies,
     "serve-bench": _cmd_serve_bench,
+    "check": _cmd_check,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    """CLI entry point; returns the process exit code.
+
+    Unknown subcommands and malformed flag values exit 2 with a usage
+    message on stderr (argparse handles unknown commands and un-parseable
+    flags itself; domain errors — bad sample lists, unknown frameworks,
+    CVEs, or techniques — are caught here).
+    """
+    from repro.errors import ReproError
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except CliUsageError as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        print(parser.format_usage().rstrip(), file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # Lookup-style domain errors (e.g. an unknown CVE id).
+        print(f"repro {args.command}: error: {exc.args[0]}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

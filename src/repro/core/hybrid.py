@@ -139,3 +139,54 @@ class HybridAnalyzer:
 def categorize_used_apis(apis: Sequence[FrameworkAPI]) -> Categorization:
     """Convenience wrapper used by the runtime's offline phase."""
     return HybridAnalyzer().categorize(apis)
+
+
+# ----------------------------------------------------------------------
+# External call sites (the static partition linter's entry point)
+# ----------------------------------------------------------------------
+
+#: Per-API verdict cache keyed by framework name.  Each entry remembers
+#: the Framework object it was built against so re-registering a
+#: framework under the same name invalidates its stale verdicts.
+_CALL_SITE_CACHE: Dict[str, Tuple[object, Dict[str, CategorizedAPI]]] = {}
+
+#: One analyzer shared by every cached call-site lookup (the dynamic
+#: tracer's scratch kernels are per-call, so sharing is safe).
+_CALL_SITE_ANALYZER: Optional[HybridAnalyzer] = None
+
+
+def categorize_call_site(framework_name: str, api_name: str) -> CategorizedAPI:
+    """Hybrid verdict for one *external* call site ``framework.api``.
+
+    Host-program analyses (``repro.staticcheck``) resolve the call sites
+    they find in user source through this function instead of
+    re-categorizing whole frameworks per site.  Verdicts are cached
+    per API; the cache self-invalidates when a framework is re-registered
+    under the same name.
+
+    Raises :class:`~repro.errors.ReproError` for an unknown framework or
+    API name and :class:`~repro.errors.UncategorizableAPI` when neither
+    analysis phase can type the API.
+    """
+    global _CALL_SITE_ANALYZER
+    from repro.frameworks.registry import get_framework
+
+    framework = get_framework(framework_name)
+    api = framework.get(api_name)
+    cached = _CALL_SITE_CACHE.get(framework_name)
+    if cached is None or cached[0] is not framework:
+        cached = (framework, {})
+        _CALL_SITE_CACHE[framework_name] = cached
+    verdicts = cached[1]
+    entry = verdicts.get(api.spec.qualname)
+    if entry is None:
+        if _CALL_SITE_ANALYZER is None:
+            _CALL_SITE_ANALYZER = HybridAnalyzer()
+        entry = _CALL_SITE_ANALYZER.categorize_api(api)
+        verdicts[api.spec.qualname] = entry
+    return entry
+
+
+def clear_call_site_cache() -> None:
+    """Drop every cached call-site verdict (tests re-register frameworks)."""
+    _CALL_SITE_CACHE.clear()

@@ -13,7 +13,7 @@ calls it issues are not subject to the agents' seccomp filters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.apitypes import APIType, FrameworkState
 from repro.sim.memory import Permission
@@ -28,6 +28,72 @@ class Transition:
     current: FrameworkState
     protected_buffers: int
     at_ns: int
+
+
+# ----------------------------------------------------------------------
+# Pure transition semantics (shared by the runtime and the static
+# verifier, which replays call traces without processes or enforcement)
+# ----------------------------------------------------------------------
+
+
+def next_state(
+    state: FrameworkState, api_type: APIType, neutral: bool = False
+) -> Optional[FrameworkState]:
+    """The state one API call moves the framework into, or None.
+
+    Returns ``None`` when the call does not transition: neutral APIs run
+    in the current state, and calls of the current state's own type stay
+    put.  This is the single source of truth for the Fig. 3 semantics;
+    :meth:`TemporalStateMachine.observe_call` and the static verifier's
+    :func:`simulate_transitions` both consult it.
+    """
+    if neutral or not api_type.is_concrete:
+        return None
+    new_state = FrameworkState.for_api_type(api_type)
+    return None if new_state is state else new_state
+
+
+@dataclass(frozen=True)
+class SimulatedStep:
+    """One step of a replayed call trace (no enforcement performed)."""
+
+    index: int
+    api_type: APIType
+    neutral: bool
+    state_before: FrameworkState
+    state_after: FrameworkState
+
+    @property
+    def transitioned(self) -> bool:
+        """True when this call changed the framework state."""
+        return self.state_before is not self.state_after
+
+
+def simulate_transitions(
+    calls: Sequence[Tuple[APIType, bool]],
+    initial: FrameworkState = FrameworkState.INITIALIZATION,
+) -> List[SimulatedStep]:
+    """Replay ``(api_type, neutral)`` observations through the state machine.
+
+    A pure function over the Fig. 3 semantics: no processes are touched
+    and no permissions change.  The static policy verifier uses this to
+    predict the state trace of a host program's call sites ahead of any
+    deployment; tests use it to cross-check the enforcing machine.
+    """
+    steps: List[SimulatedStep] = []
+    state = initial
+    for index, (api_type, neutral) in enumerate(calls):
+        new_state = next_state(state, api_type, neutral)
+        after = new_state if new_state is not None else state
+        steps.append(SimulatedStep(
+            index=index,
+            api_type=api_type,
+            neutral=neutral,
+            state_before=state,
+            state_after=after,
+        ))
+        state = after
+    return steps
 
 
 class TemporalStateMachine:
@@ -60,10 +126,8 @@ class TemporalStateMachine:
         Neutral APIs run in the current state and never transition.
         Returns the transition performed, if any.
         """
-        if neutral or not api_type.is_concrete:
-            return None
-        new_state = FrameworkState.for_api_type(api_type)
-        if new_state is self.state:
+        new_state = next_state(self.state, api_type, neutral)
+        if new_state is None:
             return None
         previous = self.state
         self.state = new_state

@@ -1,0 +1,297 @@
+"""The partition-policy rule classes of the static verifier.
+
+Each rule reads the per-function :class:`~repro.staticcheck.inference.FunctionReport`
+plans (and the raw module summary) and yields findings.  Severity
+philosophy: a rule is an **error** when the runtime would punish the
+code at execution time — frozen-state writes die by SIGSEGV, denied
+syscalls kill the agent, cross-tenant replays raise
+``TenantIsolationError`` — and a **warning** when the code runs but
+undermines the partitioning (redundant host copies, dead specs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.apitypes import APIType
+from repro.frameworks.syscall_pools import INIT_ONLY_SYSCALLS, pool_for
+from repro.staticcheck.callgraph import LocalSpec, ModuleSummary, ValueKind
+from repro.staticcheck.inference import FunctionReport
+from repro.staticcheck.report import Finding, Severity
+
+
+@dataclass
+class RuleContext:
+    """Everything one file's rules get to look at."""
+
+    path: str
+    summary: ModuleSummary
+    reports: Dict[str, FunctionReport]
+    unused_specs: List[LocalSpec] = field(default_factory=list)
+
+
+class Rule:
+    """One verifier rule: an id, a severity, and a check over a file."""
+
+    id: str = "abstract"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        """Yield findings for one analyzed file."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        context: RuleContext,
+        line: int,
+        col: int,
+        message: str,
+        function: Optional[str] = None,
+    ) -> Finding:
+        """Construct a finding attributed to this rule."""
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=context.path,
+            line=line,
+            col=col,
+            message=message,
+            function=function,
+        )
+
+
+class FrozenWriteRule(Rule):
+    """Host writes to tags frozen by an earlier phase transition.
+
+    The runtime makes annotated host buffers read-only when the
+    framework leaves the state they were defined in; a later
+    ``host_write`` dies by SIGSEGV.  The sanctioned update path is
+    ``host_alloc`` (a fresh buffer in the current state).
+    """
+
+    id = "frozen-write"
+    severity = Severity.ERROR
+    description = "write to a host variable frozen by a phase transition"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for qualname, report in context.reports.items():
+            for hit in report.frozen_writes:
+                yield self.finding(
+                    context, hit.event.line, hit.event.col,
+                    f"host_write to '{hit.tag}' would fault: the buffer "
+                    f"was defined during {hit.alloc_state.value} and is "
+                    f"read-only once the framework moved on (write "
+                    f"happens in {hit.write_state.value}); re-allocate "
+                    "with host_alloc instead",
+                    function=qualname,
+                )
+
+
+class PhaseOrderRule(Rule):
+    """Storing before the trace's first loading call (Fig. 3 inversion).
+
+    Only fires when the same trace *does* load later — a store-only
+    helper that persists data handed in by its caller is legitimate.
+    """
+
+    id = "phase-order"
+    severity = Severity.ERROR
+    description = "storing call executes before the pipeline has loaded"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for qualname, report in context.reports.items():
+            concrete = [
+                step for step in report.steps
+                if not step.verdict.neutral
+                and step.verdict.api_type.is_concrete
+            ]
+            load_positions = [
+                position for position, step in enumerate(concrete)
+                if step.verdict.api_type is APIType.LOADING
+            ]
+            if not load_positions:
+                continue
+            first_load = load_positions[0]
+            for position, step in enumerate(concrete):
+                if (
+                    step.verdict.api_type is APIType.STORING
+                    and position < first_load
+                ):
+                    later = concrete[first_load]
+                    yield self.finding(
+                        context, step.event.line, step.event.col,
+                        f"{step.verdict.qualname} stores before the "
+                        f"pipeline loads anything ("
+                        f"{later.verdict.qualname} loads later at line "
+                        f"{later.event.line}) — store-before-load "
+                        "inverts the framework phase order",
+                        function=qualname,
+                    )
+
+
+class SyscallPoolRule(Rule):
+    """API syscall profile exceeds its predicted agent's allowlist.
+
+    The agent running this site installs ``pool_for(agent_type)`` as its
+    seccomp filter; a declared syscall outside that pool (or an
+    init-only syscall outside pool + init allowance) means the agent is
+    killed the first time the API runs.
+    """
+
+    id = "syscall-pool"
+    severity = Severity.ERROR
+    description = "declared syscalls outside the inferred agent's pool"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        seen: set = set()
+        for qualname, report in context.reports.items():
+            for step in report.steps:
+                pool = pool_for(step.effective_type)
+                if pool is None:
+                    continue
+                extra = sorted(set(step.verdict.syscalls) - pool)
+                extra_init = sorted(
+                    set(step.verdict.init_syscalls)
+                    - pool - INIT_ONLY_SYSCALLS
+                )
+                key = (step.event.line, step.event.col,
+                       tuple(extra), tuple(extra_init))
+                if (not extra and not extra_init) or key in seen:
+                    continue
+                seen.add(key)
+                parts = []
+                if extra:
+                    parts.append(f"syscalls {', '.join(extra)}")
+                if extra_init:
+                    parts.append(
+                        f"init-only syscalls {', '.join(extra_init)}"
+                    )
+                yield self.finding(
+                    context, step.event.line, step.event.col,
+                    f"{step.verdict.qualname} declares "
+                    f"{' and '.join(parts)} outside the "
+                    f"'{step.agent}' agent's seccomp pool — the agent "
+                    "would be killed on first use",
+                    function=qualname,
+                )
+
+
+class WrongPartitionDerefRule(Rule):
+    """A materialized copy is passed back into an agent partition.
+
+    ``materialize`` dereferences an ObjectRef into the host partition;
+    feeding the copy back to a framework call re-ships the full payload
+    to the agent.  Passing the ObjectRef instead keeps the transfer lazy
+    and in-partition.
+    """
+
+    id = "wrong-partition-deref"
+    severity = Severity.WARNING
+    description = "materialized value flows back into an agent call"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for qualname, report in context.reports.items():
+            for step in report.steps:
+                if not step.event.materialized_args:
+                    continue
+                names = ", ".join(step.event.materialized_args)
+                yield self.finding(
+                    context, step.event.line, step.event.col,
+                    f"materialized value ({names}) passed into "
+                    f"{step.verdict.qualname}, which runs in the "
+                    f"'{step.agent}' agent — pass the ObjectRef and let "
+                    "the runtime dereference in-partition",
+                    function=qualname,
+                )
+
+
+class DeadApiRule(Rule):
+    """Call sites naming no known API, and in-file specs never called."""
+
+    id = "dead-api"
+    severity = Severity.WARNING
+    description = "call site resolves to no known API, or spec is unused"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for qualname, report in context.reports.items():
+            for failure in report.failures:
+                if failure.kind != "dead":
+                    continue
+                yield self.finding(
+                    context, failure.event.line, failure.event.col,
+                    failure.message,
+                    function=qualname,
+                )
+        for spec in context.unused_specs:
+            yield self.finding(
+                context, spec.line, 0,
+                f"in-file APISpec {spec.qualname} is registered but "
+                "never called from this module",
+            )
+
+
+class UncategorizableRule(Rule):
+    """Call sites the hybrid analysis cannot assign to any partition."""
+
+    id = "uncategorizable"
+    severity = Severity.ERROR
+    description = "hybrid analysis cannot type this call site"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for qualname, report in context.reports.items():
+            for failure in report.failures:
+                if failure.kind != "uncategorizable":
+                    continue
+                yield self.finding(
+                    context, failure.event.line, failure.event.col,
+                    failure.message,
+                    function=qualname,
+                )
+
+
+class TenantRefLeakRule(Rule):
+    """An ObjectRef escapes a tenant-scoped handler into shared state.
+
+    The serve layer namespaces refs per tenant and raises
+    ``TenantIsolationError`` on replay, but a ref parked in a module
+    global or ``self`` attribute survives the request and leaks one
+    tenant's handle into another tenant's scope.
+    """
+
+    id = "tenant-ref-leak"
+    severity = Severity.ERROR
+    description = "tenant handler stores an ObjectRef into shared state"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for qualname, report in context.reports.items():
+            if not report.trace.tenant_scoped:
+                continue
+            for store in report.shared_stores:
+                if store.value_kind is not ValueKind.HANDLE:
+                    continue
+                yield self.finding(
+                    context, store.line, store.col,
+                    f"ObjectRef stored into shared state "
+                    f"'{store.target}' from tenant-scoped handler — "
+                    "another tenant's request can observe or replay it",
+                    function=qualname,
+                )
+
+
+#: Registry of every verifier rule, in reporting order.
+ALL_RULES: Tuple[Rule, ...] = (
+    FrozenWriteRule(),
+    PhaseOrderRule(),
+    SyscallPoolRule(),
+    WrongPartitionDerefRule(),
+    DeadApiRule(),
+    UncategorizableRule(),
+    TenantRefLeakRule(),
+)
+
+
+def rule_ids() -> Tuple[str, ...]:
+    """The stable ids accepted by ``# repro: ignore[...]``."""
+    return tuple(rule.id for rule in ALL_RULES)

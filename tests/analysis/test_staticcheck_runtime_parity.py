@@ -1,0 +1,77 @@
+"""Static and runtime verdicts must agree on the frozen-write fixtures.
+
+``tests/core/test_statemachine.py`` proves the runtime's mprotect
+simulation blocks writes to annotated host buffers after a phase
+transition.  This regression runs the *same program* both ways: the
+static verifier must flag the write the runtime kills, and must stay
+silent on the variant the runtime lets finish.
+"""
+
+import importlib.util
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import FreePart, FreePartConfig
+from repro.errors import SegmentationFault
+from repro.frameworks.registry import get_framework
+from repro.staticcheck import check_file
+
+FIXTURES = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "fixtures", "staticcheck"
+)
+
+
+def load_fixture(name):
+    """Import a fixture program as a real module."""
+    path = os.path.join(FIXTURES, name)
+    spec = importlib.util.spec_from_file_location(
+        name.removesuffix(".py"), path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module, path
+
+
+def deploy_for(module):
+    """A real FreePart gateway with the fixture's annotations enforced."""
+    freepart = FreePart(
+        config=FreePartConfig(annotations=tuple(module.ANNOTATIONS))
+    )
+    rng = np.random.default_rng(3)
+    freepart.kernel.fs.write_file(
+        "/data/in.png", rng.integers(0, 256, (8, 8, 3)).astype(float)
+    )
+    return freepart.deploy(used_apis=list(get_framework("opencv")))
+
+
+def test_static_flags_the_write_the_runtime_kills():
+    module, path = load_fixture("frozen_write_violation.py")
+
+    static = check_file(path)
+    assert any(f.rule == "frozen-write" for f in static.findings)
+
+    with pytest.raises(SegmentationFault):
+        module.pipeline(deploy_for(module))
+
+
+def test_static_and_runtime_both_accept_the_sanctioned_update():
+    module, path = load_fixture("frozen_write_ok.py")
+
+    static = check_file(path)
+    assert static.findings == []
+
+    gateway = deploy_for(module)
+    module.pipeline(gateway)  # must not fault
+    assert gateway.host_read("scores") == [2.0] * 8
+
+
+def test_static_finding_points_at_the_faulting_line():
+    module, path = load_fixture("frozen_write_violation.py")
+    finding = next(
+        f for f in check_file(path).findings if f.rule == "frozen-write"
+    )
+    with open(path, "r", encoding="utf-8") as handle:
+        line = handle.readlines()[finding.line - 1]
+    assert "host_write" in line

@@ -1,0 +1,19 @@
+"""Fixture: every call site resolves, every in-file spec is used (clean)."""
+
+from repro.core.apitypes import APIType
+from repro.frameworks.base import APISpec, Framework
+
+EXTRAS = Framework("extras", version="0.1")
+EXTRAS.register(APISpec(
+    name="sharpen",
+    framework="extras",
+    qualname="extras.sharpen",
+    ground_truth=APIType.PROCESSING,
+    syscalls=("brk",),
+))
+
+
+def pipeline(gateway):
+    """Load with a registry API, process with the in-file one."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    return gateway.call("extras", "sharpen", image)

@@ -1,0 +1,28 @@
+"""Fixture: call sites that resolve to no known API (violates).
+
+``opencv.no_such_api`` names a registered framework but an API it does
+not declare; ``fakelib.transmogrify`` names a framework that exists
+neither in the global registry nor in this module.  Both calls are dead
+code that would raise at runtime.  The unused in-file spec is the third
+shape: registered here, called nowhere.
+"""
+
+from repro.core.apitypes import APIType
+from repro.frameworks.base import APISpec, Framework
+
+EXTRAS = Framework("extras", version="0.1")
+EXTRAS.register(APISpec(
+    name="never_called",
+    framework="extras",
+    qualname="extras.never_called",
+    ground_truth=APIType.PROCESSING,
+    syscalls=("brk",),
+))
+
+
+def pipeline(gateway):
+    """Two unresolvable call sites after a legitimate load."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    gateway.call("opencv", "no_such_api", image)
+    gateway.call("fakelib", "transmogrify", image)
+    return image

@@ -1,0 +1,26 @@
+"""Fixture: the sanctioned ways to update an annotated host variable.
+
+Writing in the same state the buffer was defined in is allowed (freezing
+happens only when the framework *leaves* that state), and ``host_alloc``
+re-binds the tag to a fresh writable buffer in the current state.
+
+Executed by the runtime-parity regression test: the runtime must let
+this pipeline finish, and the static verifier must report nothing.
+"""
+
+from repro.sim.memory import MemoryLayout
+
+ANNOTATIONS = (
+    MemoryLayout(name="scores", tag="scores", nbytes=64),
+)
+
+
+def pipeline(gateway):
+    """Write before the transition; re-allocate for the late update."""
+    gateway.host_alloc("scores", [0.0] * 8)
+    gateway.host_write("scores", [0.5] * 8)
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    blurred = gateway.call("opencv", "GaussianBlur", image)
+    gateway.host_alloc("scores", [1.0] * 8)
+    gateway.host_write("scores", [2.0] * 8)
+    return blurred

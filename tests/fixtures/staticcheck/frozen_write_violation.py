@@ -1,0 +1,26 @@
+"""Fixture: host write to a tag frozen by a phase transition (violates).
+
+``scores`` is annotated and allocated during initialization; the imread
+call transitions the framework to data loading, which freezes every
+annotated buffer defined during initialization.  The late ``host_write``
+is exactly the write the runtime's mprotect simulation kills with
+SIGSEGV — the static verifier must flag it ahead of time.
+
+This file is also *executed* by the runtime-parity regression test, so
+it must be a working pipeline, not just parseable source.
+"""
+
+from repro.sim.memory import MemoryLayout
+
+ANNOTATIONS = (
+    MemoryLayout(name="scores", tag="scores", nbytes=64),
+)
+
+
+def pipeline(gateway):
+    """Alloc during initialization, write after the framework moved on."""
+    gateway.host_alloc("scores", [0.0] * 8)
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    blurred = gateway.call("opencv", "GaussianBlur", image)
+    gateway.host_write("scores", [1.0] * 8)
+    return blurred

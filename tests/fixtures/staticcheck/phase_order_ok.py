@@ -1,0 +1,19 @@
+"""Fixture: load → process → store, plus a store-only helper (clean).
+
+``persist`` stores a value handed in by its caller and never loads —
+that is a legitimate sink helper, not a phase inversion, and must stay
+unflagged.
+"""
+
+
+def pipeline(gateway):
+    """The canonical pipeline order."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    edges = gateway.call("opencv", "Canny", image)
+    gateway.call("opencv", "imwrite", "/out/edges.png", edges)
+    return edges
+
+
+def persist(gateway, result):
+    """Store-only helper: no load in its own trace, no violation."""
+    gateway.call("opencv", "imwrite", "/out/result.png", result)

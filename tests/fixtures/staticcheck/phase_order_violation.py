@@ -1,0 +1,13 @@
+"""Fixture: storing call executes before the pipeline loads (violates).
+
+The imwrite site persists stale state before any data has been loaded;
+the imread afterwards proves this trace *does* load, so the store is a
+Fig. 3 phase-order inversion rather than a store-only helper.
+"""
+
+
+def pipeline(gateway):
+    """Store first, load second — inverted phase order."""
+    gateway.call("opencv", "imwrite", "/out/stale.png", None)
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    return gateway.call("opencv", "Canny", image)

@@ -1,0 +1,14 @@
+"""Fixture: real violations silenced by ``# repro: ignore`` comments.
+
+The store-before-load inversion carries a rule-specific suppression; the
+dead API call carries a bare one.  ``repro check`` must report neither
+(and count both as suppressed).
+"""
+
+
+def pipeline(gateway):
+    """Two violations, both explicitly waived in-line."""
+    gateway.call("opencv", "imwrite", "/out/stale.png", None)  # repro: ignore[phase-order]
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    gateway.call("opencv", "no_such_api", image)  # repro: ignore
+    return image

@@ -1,0 +1,26 @@
+"""Fixture: in-file API spec whose syscalls fit its agent's pool (clean).
+
+``telemetry.save_report`` writes through the filesystem only; every
+declared syscall is inside the storing pool, and its ``mprotect`` is
+covered by the initialization grace allowance.
+"""
+
+from repro.core.apitypes import APIType
+from repro.frameworks.base import APISpec, Framework
+
+TELEMETRY = Framework("telemetry", version="0.1")
+TELEMETRY.register(APISpec(
+    name="save_report",
+    framework="telemetry",
+    qualname="telemetry.save_report",
+    ground_truth=APIType.STORING,
+    syscalls=("openat", "write", "fsync", "close"),
+    init_syscalls=("mprotect",),
+))
+
+
+def pipeline(gateway):
+    """Load, then persist the result through the filesystem."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    gateway.call("telemetry", "save_report", image)
+    return image

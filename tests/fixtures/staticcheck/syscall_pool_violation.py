@@ -1,0 +1,26 @@
+"""Fixture: in-file API spec declares syscalls outside its agent's pool.
+
+``telemetry.upload_report`` is a storing API whose declared syscall set
+includes ``socket``/``sendto`` — network calls the storing agent's
+seccomp pool (Table 7) does not allow.  The first upload would kill the
+agent; the verifier must say so statically.
+"""
+
+from repro.core.apitypes import APIType
+from repro.frameworks.base import APISpec, Framework
+
+TELEMETRY = Framework("telemetry", version="0.1")
+TELEMETRY.register(APISpec(
+    name="upload_report",
+    framework="telemetry",
+    qualname="telemetry.upload_report",
+    ground_truth=APIType.STORING,
+    syscalls=("socket", "sendto", "openat", "close"),
+))
+
+
+def pipeline(gateway):
+    """Load, then push the result over the network from the storing agent."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    gateway.call("telemetry", "upload_report", image)
+    return image

@@ -1,0 +1,17 @@
+"""Fixture: tenant-scoped handler keeps refs request-local (clean).
+
+The handle never escapes the request: it flows through the pipeline and
+is returned to the caller, which owns the tenant scope.  Materialized
+*copies* in shared state are also fine — a copy is data, not a
+replayable reference.
+"""
+
+STATS = {"requests": 0}
+
+
+def handle_request(gateway, tenant_id, path):
+    """Per-tenant request handler with request-local refs (good)."""
+    image = gateway.call("opencv", "imread", path)
+    edges = gateway.call("opencv", "Canny", image)
+    STATS["requests"] = 1
+    return edges

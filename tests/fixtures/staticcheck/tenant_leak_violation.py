@@ -1,0 +1,18 @@
+"""Fixture: tenant-scoped handler parks an ObjectRef in shared state.
+
+``RESULT_CACHE`` is module-level — it outlives the request.  Storing the
+edges handle there leaks one tenant's ObjectRef into every other
+tenant's scope; the serve layer would raise ``TenantIsolationError`` on
+replay, but only *after* the leak is exploited.  The verifier flags the
+store itself.
+"""
+
+RESULT_CACHE = {}
+
+
+def handle_request(gateway, tenant_id, path):
+    """Per-tenant request handler that caches across tenants (bad)."""
+    image = gateway.call("opencv", "imread", path)
+    edges = gateway.call("opencv", "Canny", image)
+    RESULT_CACHE[path] = edges
+    return edges

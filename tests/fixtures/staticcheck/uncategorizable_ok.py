@@ -1,0 +1,24 @@
+"""Fixture: in-file spec with a literal ground truth (clean).
+
+Identical shape to the violating variant, but the ground truth is an
+``APIType`` literal the prepass can read, so the site types as
+processing and joins the partition plan normally.
+"""
+
+from repro.core.apitypes import APIType
+from repro.frameworks.base import APISpec, Framework
+
+MYSTERY = Framework("mystery", version="0.1")
+MYSTERY.register(APISpec(
+    name="transmute",
+    framework="mystery",
+    qualname="mystery.transmute",
+    ground_truth=APIType.PROCESSING,
+    syscalls=("brk", "mmap"),
+))
+
+
+def pipeline(gateway):
+    """Call the now-typeable API after a load."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    return gateway.call("mystery", "transmute", image)

@@ -1,0 +1,31 @@
+"""Fixture: a call site no analysis phase can type (violates).
+
+``mystery.transmute`` is declared in this module, but its ground truth
+is computed at runtime — not a literal the static prepass can read — and
+the spec is not neutral.  The hybrid categorizer has nothing to go on:
+the site cannot be assigned to any agent partition.
+"""
+
+from repro.frameworks.base import APISpec, Framework
+
+
+def _pick_type():
+    """Runtime-computed ground truth (opaque to the static prepass)."""
+    from repro.core.apitypes import APIType
+
+    return APIType.PROCESSING
+
+
+MYSTERY = Framework("mystery", version="0.1")
+MYSTERY.register(APISpec(
+    name="transmute",
+    framework="mystery",
+    qualname="mystery.transmute",
+    ground_truth=_pick_type(),
+))
+
+
+def pipeline(gateway):
+    """Call the untypeable API after a legitimate load."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    return gateway.call("mystery", "transmute", image)

@@ -1,0 +1,12 @@
+"""Fixture: ObjectRefs stay lazy between agent calls (clean).
+
+Handles flow between framework calls untouched; only the final result
+is materialized, in the host, for host-side consumption.
+"""
+
+
+def pipeline(gateway):
+    """Keep refs lazy; deref only the terminal result."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    edges = gateway.call("opencv", "Canny", image)
+    return gateway.materialize(edges)

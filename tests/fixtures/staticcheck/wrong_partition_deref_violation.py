@@ -1,0 +1,14 @@
+"""Fixture: materialized copy flows back into an agent call (violates).
+
+``materialize`` ships the full payload into the host partition; passing
+the copy into ``Canny`` re-ships it to the processing agent.  The lazy
+data-copy design wants the ObjectRef passed instead, so the dereference
+happens in the partition that consumes it.
+"""
+
+
+def pipeline(gateway):
+    """Deref in the host, then hand the copy back to an agent."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    pixels = gateway.materialize(image)
+    return gateway.call("opencv", "Canny", pixels)

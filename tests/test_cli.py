@@ -119,3 +119,65 @@ def test_serve_bench_default_flags_parse():
     assert args.tenants == 8
     assert args.pool_size == 4
     assert args.batching == "both"
+
+
+def test_check_clean_paths_exit_zero(capsys):
+    code, out = run_cli(capsys, "check", "examples/")
+    assert code == 0
+    assert "0 error(s)" in out
+
+
+def test_check_violating_fixture_exits_one(capsys):
+    code, out = run_cli(
+        capsys,
+        "check", "tests/fixtures/staticcheck/frozen_write_violation.py",
+    )
+    assert code == 1
+    assert "[frozen-write]" in out
+
+
+def test_check_json_format(capsys):
+    code, out = run_cli(
+        capsys,
+        "check", "--format", "json",
+        "tests/fixtures/staticcheck/phase_order_violation.py",
+    )
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["findings"][0]["rule"] == "phase-order"
+
+
+def test_check_missing_path_exits_two(capsys):
+    code = main(["check", "no/such/path"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error" in captured.err
+    assert "usage:" in captured.err
+
+
+def test_unknown_subcommand_exits_two(capsys):
+    with pytest.raises(SystemExit) as err:
+        main(["frobnicate"])
+    assert err.value.code == 2
+
+
+def test_bad_samples_value_exits_two_with_message(capsys):
+    code = main(["overhead", "--samples", "1,x"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "comma-separated integers" in captured.err
+    assert "usage:" in captured.err
+
+
+def test_unknown_framework_exits_two(capsys):
+    code = main(["categorize", "no-such-framework"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown framework" in captured.err
+
+
+def test_unknown_cve_exits_two(capsys):
+    code = main(["attack", "CVE-0000-0000"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown CVE" in captured.err
