@@ -1,0 +1,57 @@
+"""Tracing overhead — enabled spans must not move the virtual clock.
+
+The span tracer only *reads* the clock; every instrumented code path
+charges the same virtual time with tracing on or off (split advances are
+additive).  The acceptance bar is < 1% overhead on the Table 9 FreePart
+workload; the design target — asserted exactly — is zero.
+"""
+
+from benchmarks.conftest import emit
+from repro.apps.base import Workload, execute_app
+from repro.apps.suite import make_app
+from repro.attacks.scenarios import build_gateway
+from repro.core.runtime import FreePartConfig
+from repro.obs.export import render_rollup
+from repro.sim.kernel import SimKernel
+
+WORKLOAD = Workload(items=4, image_size=16)
+
+
+def run_freepart(traced):
+    app = make_app(8)
+    kernel = SimKernel()
+    if traced:
+        kernel.enable_tracing()
+    config = FreePartConfig(
+        trace=traced, annotations=tuple(app.annotations)
+    )
+    gateway = build_gateway("freepart", kernel, app=app, config=config)
+    report = execute_app(app, gateway, WORKLOAD)
+    assert not report.failed, report.error
+    return kernel, report
+
+
+def test_enabled_tracer_adds_zero_virtual_overhead():
+    plain_kernel, plain = run_freepart(traced=False)
+    traced_kernel, traced = run_freepart(traced=True)
+
+    # The default tracer recorded nothing; the traced run recorded a lot.
+    assert plain_kernel.tracer.closed_spans() == []
+    spans = traced_kernel.tracer.closed_spans()
+    assert len(spans) > 100
+
+    # Identical virtual-clock outcomes, metric by metric.
+    assert traced.virtual_seconds == plain.virtual_seconds
+    assert traced.ipc_messages == plain.ipc_messages
+    assert traced.data_transferred_bytes == plain.data_transferred_bytes
+
+    # The acceptance bar, stated as the bench asserts it: < 1%.
+    overhead = traced.virtual_seconds / plain.virtual_seconds - 1.0
+    assert abs(overhead) < 0.01
+    emit(
+        f"tracing overhead: {overhead * 100:.4f}% "
+        f"({len(spans)} spans over {traced.virtual_seconds:.4f}s virtual)"
+    )
+    emit(render_rollup(
+        traced_kernel.tracer, traced_kernel.clock.now_ns
+    ))

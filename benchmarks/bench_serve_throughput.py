@@ -87,3 +87,48 @@ def test_batching_helps_at_fixed_pool(result):
 def test_every_pooled_config_beats_naive(result):
     for config in result["configs"][1:]:
         assert config["speedup_vs_naive"] > 1.0, config["name"]
+
+
+def test_serve_trace_rollup_partitions_run_time():
+    """Trace-rollup mode for the serving path: spans cover pool leases,
+    batches, admission waits — and still sum to the end-to-end time."""
+    import numpy as np
+
+    from repro.core.runtime import FreePartConfig
+    from repro.obs.export import mechanism_rollup, render_rollup
+    from repro.serve.bench import standard_pipeline
+    from repro.serve.server import PipelineServer
+    from repro.sim.kernel import SimKernel
+
+    server = PipelineServer(
+        kernel=SimKernel(),
+        config=FreePartConfig(trace=True),
+        pool_size=2,
+        batching=True,
+    )
+    rng = np.random.default_rng(0)
+    for tenant in range(2):
+        for request in range(2):
+            path = f"/data/tenant-{tenant}/in-{request}.png"
+            server.kernel.fs.write_file(path, rng.normal(size=(16, 16)))
+            server.submit(
+                f"tenant-{tenant}",
+                standard_pipeline(path, f"/out/t{tenant}-{request}.png"),
+            )
+    responses = server.drain()
+    assert all(r.ok for r in responses)
+
+    total_ns = server.kernel.clock.now_ns
+    rows = mechanism_rollup(server.kernel.tracer, total_ns)
+    assert sum(r.self_ns for r in rows) == total_ns
+    assert all(r.self_ns >= 0 for r in rows)
+    categories = {r.category for r in rows}
+    assert {"serve", "batch", "spawn", "ipc"} <= categories
+    # admission_wait is out-of-band: exported, but never in the rollup.
+    assert "admission" not in categories
+    assert any(
+        s.category == "admission"
+        for s in server.kernel.tracer.closed_spans()
+    )
+    emit(render_rollup(server.kernel.tracer, total_ns))
+    server.shutdown()

@@ -28,12 +28,20 @@ WORKLOAD = Workload(items=4, image_size=16)
 SHEET_SIZE = 128  # paper-scale sheets so data movement is visible
 
 
-def run_one(technique):
+def run_one(technique, traced=False):
     import numpy as np
 
     app = make_app(8)
     kernel = SimKernel()
-    gateway = build_gateway(technique, kernel, app=app)
+    config = None
+    if traced:
+        from repro.core.runtime import FreePartConfig
+
+        kernel.enable_tracing()
+        config = FreePartConfig(
+            trace=True, annotations=tuple(app.annotations)
+        )
+    gateway = build_gateway(technique, kernel, app=app, config=config)
     app.setup(kernel, WORKLOAD)
     rng = np.random.default_rng(9)
     for item in range(WORKLOAD.items):
@@ -44,12 +52,12 @@ def run_one(technique):
         kernel.fs.write_file(app.input_path(item), sheet)
     report = execute_app(app, gateway, WORKLOAD, setup=False)
     assert not report.failed, (technique, report.error)
-    return report
+    return report, kernel
 
 
 @pytest.fixture(scope="module")
 def reports():
-    return {technique: run_one(technique) for technique in TECHNIQUES}
+    return {technique: run_one(technique)[0] for technique in TECHNIQUES}
 
 
 def test_table9_overhead_breakdown(benchmark, reports):
@@ -98,3 +106,25 @@ def test_table9_overhead_breakdown(benchmark, reports):
     assert times["lib_individual"] > 1.5 * times["none"]
     # FreePart stays within a few percent of native (the 55.6 vs 54.1 row).
     assert times["freepart"] / times["none"] < 1.08
+
+
+def test_freepart_trace_rollup_matches_headline_numbers(reports):
+    """Trace-rollup mode: per-mechanism breakdown alongside Table 9.
+
+    The traced re-run must reproduce the untraced headline exactly (the
+    tracer reads the virtual clock, never advances it), and the rollup's
+    rows must partition the run's end-to-end virtual time.
+    """
+    from repro.obs.export import mechanism_rollup, render_rollup
+
+    report, kernel = run_one("freepart", traced=True)
+    assert report.virtual_seconds == reports["freepart"].virtual_seconds
+    assert report.ipc_messages == reports["freepart"].ipc_messages
+
+    total_ns = kernel.clock.now_ns
+    rows = mechanism_rollup(kernel.tracer, total_ns)
+    assert sum(r.self_ns for r in rows) == total_ns
+    assert all(r.self_ns >= 0 for r in rows)
+    categories = {r.category for r in rows}
+    assert {"ipc", "copy", "mprotect", "filter_check"} <= categories
+    emit(render_rollup(kernel.tracer, total_ns))

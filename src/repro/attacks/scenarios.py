@@ -145,8 +145,14 @@ def run_attack(
     config: Optional[FreePartConfig] = None,
     target_tag: str = "template.QBlocks.orig",
     app: Optional[Application] = None,
+    kernel: Optional[SimKernel] = None,
 ) -> AttackResult:
-    """Deliver one CVE's exploit against one protected application."""
+    """Deliver one CVE's exploit against one protected application.
+
+    ``kernel`` lets callers supply a pre-built machine (the trace CLI
+    passes one so the attack's span tracer outlives the run); by default
+    each attack gets a fresh kernel.
+    """
     record = get_cve(cve_id)
     if sample_id is None:
         sample_id = record.samples[0] if record.samples else 8
@@ -154,7 +160,8 @@ def run_attack(
 
     if app is None:
         app = make_app(sample_id)
-    kernel = SimKernel()
+    if kernel is None:
+        kernel = SimKernel()
     gateway = build_gateway(
         technique, kernel, app=app, config=config,
         extra_apis=(get_api(record.framework, record.api_name),),

@@ -11,6 +11,7 @@
     python -m repro studies                      # Table 3 + Fig. 7
     python -m repro serve-bench --tenants 8      # serving throughput JSON
     python -m repro check examples/              # static partition linter
+    python -m repro trace drone --out trace.json # Chrome-trace span export
 """
 
 from __future__ import annotations
@@ -227,6 +228,106 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_app_target(args: argparse.Namespace):
+    """Run one application under FreePart with tracing on."""
+    from repro.apps.base import Workload, execute_app
+    from repro.apps.suite import make_app
+    from repro.attacks.scenarios import build_gateway
+    from repro.core.runtime import FreePartConfig
+    from repro.sim.kernel import SimKernel
+
+    if args.target in ("drone", "drone-tracker"):
+        from repro.apps.drone import DroneApp
+
+        app = DroneApp()
+    else:
+        app = make_app(int(args.target))
+    kernel = SimKernel()
+    kernel.enable_tracing()
+    config = FreePartConfig(trace=True, annotations=tuple(app.annotations))
+    gateway = build_gateway("freepart", kernel, app=app, config=config)
+    workload = Workload(items=args.items, image_size=args.image_size)
+    execute_app(app, gateway, workload)
+    return kernel
+
+
+def _trace_cve_target(args: argparse.Namespace):
+    """Replay one CVE's exploit under FreePart with tracing on."""
+    from repro.attacks.scenarios import run_attack
+    from repro.sim.kernel import SimKernel
+
+    kernel = SimKernel()
+    kernel.enable_tracing()
+    run_attack(args.target, technique="freepart", kernel=kernel)
+    return kernel
+
+
+def _trace_serve_target(args: argparse.Namespace):
+    """Run a small multi-tenant serving workload with tracing on."""
+    import numpy as np
+
+    from repro.core.runtime import FreePartConfig
+    from repro.serve.bench import standard_pipeline
+    from repro.serve.server import PipelineServer
+    from repro.sim.kernel import SimKernel
+
+    server = PipelineServer(
+        kernel=SimKernel(),
+        config=FreePartConfig(trace=True),
+        pool_size=2,
+        batching=True,
+    )
+    rng = np.random.default_rng(0)
+    for t in range(2):
+        for r in range(args.items):
+            path = f"/data/tenant-{t}/in-{r}.png"
+            server.kernel.fs.write_file(
+                path, rng.normal(size=(args.image_size, args.image_size))
+            )
+            server.submit(
+                f"tenant-{t}",
+                standard_pipeline(path, f"/out/tenant-{t}/out-{r}.png"),
+            )
+    server.drain()
+    kernel = server.kernel
+    server.shutdown()
+    return kernel
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import render_rollup, render_tree, to_chrome_trace
+
+    if args.target == "serve-bench":
+        kernel = _trace_serve_target(args)
+    elif args.target.upper().startswith("CVE-"):
+        kernel = _trace_cve_target(args)
+    elif args.target.isdigit() or args.target in ("drone", "drone-tracker"):
+        kernel = _trace_app_target(args)
+    else:
+        raise CliUsageError(
+            f"unknown trace target {args.target!r} (expected a sample id, "
+            "'drone', 'serve-bench', or a CVE id)"
+        )
+    tracer = kernel.tracer
+    total_ns = kernel.clock.now_ns
+    if args.out:
+        payload = to_chrome_trace(tracer)
+        with open(args.out, "w") as fh:
+            fh.write(json.dumps(payload, indent=2, sort_keys=True))
+            fh.write("\n")
+        print(
+            f"wrote {len(payload['traceEvents'])} trace events to "
+            f"{args.out} (load at ui.perfetto.dev)"
+        )
+    if args.tree:
+        print(render_tree(tracer))
+    if args.rollup or not (args.out or args.tree):
+        print(render_rollup(tracer, total_ns))
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.staticcheck import render_json, render_text, run_check
 
@@ -292,6 +393,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--image-size", type=int, default=16)
 
     p = sub.add_parser(
+        "trace",
+        help="span-trace one run; export Chrome trace JSON / rollup",
+    )
+    p.add_argument("target",
+                   help="sample id, 'drone', 'serve-bench', or a CVE id")
+    p.add_argument("--out", help="write Chrome trace-event JSON here")
+    p.add_argument("--rollup", action="store_true",
+                   help="print the per-mechanism virtual-time rollup")
+    p.add_argument("--tree", action="store_true",
+                   help="print the span tree")
+    p.add_argument("--items", type=int, default=2)
+    p.add_argument("--image-size", type=int, default=16)
+
+    p = sub.add_parser(
         "check",
         help="static partition linter over host-program source",
     )
@@ -311,6 +426,7 @@ _HANDLERS = {
     "motivating": _cmd_motivating,
     "studies": _cmd_studies,
     "serve-bench": _cmd_serve_bench,
+    "trace": _cmd_trace,
     "check": _cmd_check,
 }
 

@@ -316,7 +316,15 @@ class AgentProcess:
         state_bytes = 256 * max(
             len(self._checkpoint) + len(self._checkpoint_state), 1
         )
-        self.kernel.clock.advance(int(cost.checkpoint_ns_per_byte * state_bytes))
+        charge_ns = int(cost.checkpoint_ns_per_byte * state_bytes)
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            with tracer.span("checkpoint", category="checkpoint",
+                             pid=self.process.pid, bytes=state_bytes,
+                             agent=self.partition.label):
+                self.kernel.clock.advance(charge_ns)
+        else:
+            self.kernel.clock.advance(charge_ns)
         self.stats.checkpoints += 1
 
     @property

@@ -26,9 +26,17 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.apitypes import APIType
 from repro.frameworks.base import DataObject, ExecutionContext, FrameworkAPI
 from repro.frameworks.registry import get_api
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import SimKernel
 from repro.sim.memory import Buffer, MemoryLayout
 from repro.sim.process import SimProcess
+
+#: Pseudo-framework for tracing annotations.  ``gateway.call("obs",
+#: "mark", ...)`` is dispatched to the span tracer as an instant event,
+#: never to the framework registry — host programs can mark phases in
+#: their pipelines without registering an API.  The static checker's
+#: dead-api rule skips these sites for the same reason.
+OBS_FRAMEWORK = "obs"
 
 
 @dataclass(frozen=True)
@@ -57,13 +65,28 @@ class ApiCall:
 
 @dataclass
 class GatewayStats:
-    """Counters every gateway keeps (Table 6 / Table 12 inputs)."""
+    """Counters every gateway keeps (Table 6 / Table 12 inputs).
+
+    .. deprecated::
+        ``GatewayStats`` is now a compatibility shim over the
+        :mod:`repro.obs.metrics` registry: every :meth:`record` also
+        increments the machine-wide ``gateway.api_calls`` and
+        ``gateway.calls.<type>`` counters on the owning kernel's
+        ``metrics`` registry.  The per-gateway ``calls`` list and its
+        accessors remain supported, but new aggregation code should read
+        the registry instead.
+    """
 
     calls: List[CallRecord] = field(default_factory=list)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def record(self, record: CallRecord) -> None:
-        """Append one call record."""
+        """Append one call record (and feed the metrics registry)."""
         self.calls.append(record)
+        self.registry.counter("gateway.api_calls").inc()
+        self.registry.counter(
+            f"gateway.calls.{record.api_type.value}"
+        ).inc()
 
     def total_calls(self) -> int:
         """Number of framework API calls recorded."""
@@ -97,8 +120,21 @@ class ApiGateway(abc.ABC):
     def __init__(self, kernel: SimKernel, host: SimProcess) -> None:
         self.kernel = kernel
         self.host = host
-        self.stats = GatewayStats()
+        self.stats = GatewayStats(registry=kernel.metrics)
         self._host_buffers: Dict[str, int] = {}
+
+    # -- tracing annotations -------------------------------------------
+
+    def _obs_annotation(self, name: str, args: Tuple[Any, ...],
+                        kwargs: Dict[str, Any]) -> None:
+        """Dispatch an ``obs.*`` call site to the span tracer."""
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            attrs = {f"arg{i}": repr(v) for i, v in enumerate(args)}
+            attrs.update({k: repr(v) for k, v in kwargs.items()})
+            tracer.instant(f"obs.{name}", category="annotation",
+                           pid=self.host.pid, **attrs)
+        return None
 
     # -- framework API dispatch ----------------------------------------
 
@@ -214,6 +250,8 @@ class NativeGateway(ApiGateway):
 
     def call(self, framework: str, name: str, *args: Any, **kwargs: Any) -> Any:
         """Run the API directly in the host process."""
+        if framework == OBS_FRAMEWORK:
+            return self._obs_annotation(name, args, kwargs)
         api = self._resolve_api(framework, name)
         spec = api.spec
         self.stats.record(CallRecord(

@@ -234,4 +234,9 @@ class ObjectStore:
                 f"ref generation {ref.owner_generation} predates restart "
                 f"(current generation {self.process.generation})"
             )
+        tracer = getattr(self.process, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.instant("ldc_deref", category="copy",
+                           pid=self.process.pid, buffer_id=ref.buffer_id,
+                           kind=ref.kind, bytes=ref.payload_bytes)
         return self.process.memory.load(ref.buffer_id)

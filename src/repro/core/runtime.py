@@ -19,7 +19,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.agent import AgentProcess
 from repro.core.apitypes import APIType, FrameworkState, api_type_of_state
-from repro.core.gateway import ApiGateway, CallRecord
+from repro.core.gateway import OBS_FRAMEWORK, ApiGateway, CallRecord
 from repro.core.hybrid import Categorization, HybridAnalyzer
 from repro.core.partitioner import (
     PartitionPlan,
@@ -94,6 +94,10 @@ class FreePartConfig:
     #: loop — e.g. a malicious input replayed at a restarted agent —
     #: eventually leaves the agent down instead of thrashing.
     max_restarts_per_agent: Optional[int] = None
+    #: Span tracing (repro.obs).  The tracer only reads the virtual
+    #: clock, so enabling it changes no reproduced number; disabled (the
+    #: default) the no-op tracer costs hot paths a single flag check.
+    trace: bool = False
 
 
 @dataclass
@@ -189,6 +193,7 @@ class FreePartGateway(ApiGateway):
             processes=self._all_processes,
             enforce=config.enforce_permissions,
             annotated_tags=[a.tag for a in config.annotations],
+            tracer=kernel.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -265,9 +270,29 @@ class FreePartGateway(ApiGateway):
 
     def call(self, framework: str, name: str, *args: Any, **kwargs: Any) -> Any:
         """Hooked dispatch: route the API to its agent with enforcement."""
+        if framework == OBS_FRAMEWORK:
+            return self._obs_annotation(name, args, kwargs)
+        tracer = self.kernel.tracer
+        if not tracer.enabled:
+            return self._dispatch_api(framework, name, args, kwargs)
+        with tracer.span("rpc", category="rpc", pid=self.host.pid,
+                         api=f"{framework}.{name}"):
+            return self._dispatch_api(framework, name, args, kwargs)
+
+    def _dispatch_api(
+        self, framework: str, name: str, args: tuple, kwargs: dict
+    ) -> Any:
         api, partition = self._route(framework, name)
         spec = api.spec
         agent = self._ensure_agent(partition)
+        tracer = self.kernel.tracer
+        if tracer.enabled and tracer.current is not None:
+            tracer.current.annotate(
+                qualname=spec.qualname,
+                api_type=spec.ground_truth.value,
+                agent=partition.label,
+                agent_pid=agent.process.pid,
+            )
 
         request = self._build_request(agent, spec.qualname, args, kwargs)
         agent.channel.request.send(self.host.pid, "request", request)
@@ -537,6 +562,8 @@ class FreePart:
     ) -> None:
         self.kernel = kernel if kernel is not None else SimKernel()
         self.config = config if config is not None else FreePartConfig()
+        if self.config.trace:
+            self.kernel.enable_tracing()
         self._analyzer = HybridAnalyzer()
         self._categorization: Optional[Categorization] = None
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.apitypes import APIType, FrameworkState
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.memory import Permission
 from repro.sim.process import SimProcess
 
@@ -104,8 +105,10 @@ class TemporalStateMachine:
         processes: Callable[[], Iterable[SimProcess]],
         enforce: bool = True,
         annotated_tags: Iterable[str] = (),
+        tracer=None,
     ) -> None:
         self._processes = processes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.enforce = enforce
         #: Host-program data structures the user annotated for protection
         #: (Section 4.4.3: custom structures need a memory-layout
@@ -131,11 +134,25 @@ class TemporalStateMachine:
             return None
         previous = self.state
         self.state = new_state
-        protected = self._protect_state(previous) if self.enforce else 0
+        tracer = self.tracer
         clock_ns = 0
-        for process in self._processes():
-            clock_ns = process.clock.now_ns
-            break
+        first = next(iter(self._processes()), None)
+        if tracer.enabled and first is not None:
+            # The freeze span covers the mprotect storm the transition
+            # triggers; the transition itself is an instant marker.
+            tracer.instant("state_transition", category="state",
+                           pid=first.pid, previous=previous.value,
+                           current=new_state.value)
+            with tracer.span("freeze", category="state", pid=first.pid,
+                             state=previous.value) as span:
+                protected = (
+                    self._protect_state(previous) if self.enforce else 0
+                )
+                span.annotate(protected_buffers=protected)
+        else:
+            protected = self._protect_state(previous) if self.enforce else 0
+        if first is not None:
+            clock_ns = first.clock.now_ns
         transition = Transition(
             previous=previous,
             current=new_state,

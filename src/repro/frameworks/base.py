@@ -283,14 +283,27 @@ class ExecutionContext:
         self.current_spec = spec
         if self.tracer is not None:
             self.tracer.record_call(spec.qualname)
+        span_tracer = self.kernel.tracer
         try:
-            self._charge_compute(spec, args, kwargs)
-            self._first_execution_syscalls(spec)
-            for value in list(args) + list(kwargs.values()):
-                self.guard(value)
-            return api.impl(self, *args, **kwargs)
+            if span_tracer.enabled:
+                with span_tracer.span(
+                    spec.qualname, category="compute",
+                    pid=self.process.pid,
+                    api_type=spec.ground_truth.value,
+                ):
+                    return self._invoke_body(api, spec, args, kwargs)
+            return self._invoke_body(api, spec, args, kwargs)
         finally:
             self.current_spec = previous
+
+    def _invoke_body(
+        self, api: FrameworkAPI, spec: APISpec, args: tuple, kwargs: dict
+    ) -> Any:
+        self._charge_compute(spec, args, kwargs)
+        self._first_execution_syscalls(spec)
+        for value in list(args) + list(kwargs.values()):
+            self.guard(value)
+        return api.impl(self, *args, **kwargs)
 
     def _charge_compute(self, spec: APISpec, args: tuple, kwargs: dict) -> None:
         if not self.charge_costs:

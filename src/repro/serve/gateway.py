@@ -161,6 +161,20 @@ class ServeGateway(FreePartGateway):
     def _exchange_group(
         self, group, apis, partitions, labels, results: List[Any]
     ) -> None:
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            with tracer.span("batch", category="batch", pid=self.host.pid,
+                             size=len(group), tenant=self.tenant.tenant_id,
+                             agent=partitions[group.start].label):
+                self._exchange_group_body(
+                    group, apis, partitions, labels, results
+                )
+            return
+        self._exchange_group_body(group, apis, partitions, labels, results)
+
+    def _exchange_group_body(
+        self, group, apis, partitions, labels, results: List[Any]
+    ) -> None:
         agent = self._ensure_agent(partitions[group.start])
         requests: List[RpcRequest] = []
         group_apis = []

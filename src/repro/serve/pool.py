@@ -85,14 +85,24 @@ class AgentPool:
             self._next += 1
             if member.leased:
                 continue
+            repaired = False
             if not member.agent.alive:
                 # Died between leases (e.g. a crash observed at return
                 # time with repair deferred): repair before handing out.
                 member.agent.restart()
                 self.stats.restarts += 1
                 self.stats.crashes_repaired += 1
+                repaired = True
             member.leased_to = tenant_id
             self.stats.leases += 1
+            tracer = member.agent.kernel.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "pool_lease", category="pool",
+                    pid=member.agent.process.pid, tenant=tenant_id,
+                    slot=member.slot,
+                    partition=self.partition.label, repaired=repaired,
+                )
             return member
         raise AgentUnavailable(
             f"pool for partition {self.partition.label!r} has no free "
@@ -103,10 +113,19 @@ class AgentPool:
         """Return a member to the pool, repairing it if the request
         crashed it.  The pool never shrinks: a crash costs one restart,
         not a pool slot."""
+        repaired = False
         if not member.agent.alive:
             member.agent.restart()
             self.stats.restarts += 1
             self.stats.crashes_repaired += 1
+            repaired = True
+        tracer = member.agent.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "pool_restore", category="pool",
+                pid=member.agent.process.pid, tenant=member.leased_to,
+                slot=member.slot, repaired=repaired,
+            )
         member.leased_to = None
         self.stats.returns += 1
 

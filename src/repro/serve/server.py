@@ -131,7 +131,9 @@ class PipelineServer:
         )
         self.registry = TenantRegistry()
         self.batch_stats = BatchingStats()
-        self.timeline = ServingTimeline(lanes=pool_size)
+        self.timeline = ServingTimeline(
+            lanes=pool_size, registry=self.kernel.metrics
+        )
         self.tenants: Dict[str, Tenant] = {}
         self._request_ids = itertools.count(1)
         self.responses: List[ServeResponse] = []
@@ -189,6 +191,29 @@ class PipelineServer:
         return served
 
     def _dispatch(self, request: ServeRequest) -> ServeResponse:
+        tracer = self.kernel.tracer
+        if not tracer.enabled:
+            return self._dispatch_request(request)
+        tenant = self.tenants[request.tenant_id]
+        tracer.name_track(tenant.host.pid, f"tenant:{request.tenant_id}")
+        # The queue wait already elapsed (it overlaps other requests'
+        # service), so it is recorded retrospectively and out-of-band.
+        tracer.add_span(
+            "admission_wait", category="admission",
+            start_ns=request.enqueued_at_ns,
+            end_ns=self.kernel.clock.now_ns,
+            pid=tenant.host.pid, tenant=request.tenant_id,
+            request_id=request.request_id,
+        )
+        with tracer.span("serve_request", category="serve",
+                         pid=tenant.host.pid, tenant=request.tenant_id,
+                         request_id=request.request_id) as span:
+            response = self._dispatch_request(request)
+            span.annotate(ok=response.ok, retries=response.retries,
+                          timed_out=response.timed_out)
+            return response
+
+    def _dispatch_request(self, request: ServeRequest) -> ServeResponse:
         tenant = self.tenants[request.tenant_id]
         if request.timed_out:
             tenant.requests_failed += 1
@@ -341,7 +366,9 @@ class NaiveServer:
         self.plan = freepart.build_plan(self.categorization)
         self._freepart = freepart
         self.queue = AdmissionQueue(self.kernel.clock, capacity=queue_capacity)
-        self.timeline = ServingTimeline(lanes=1)
+        self.timeline = ServingTimeline(
+            lanes=1, registry=self.kernel.metrics
+        )
         self._request_ids = itertools.count(1)
 
     def submit(
@@ -369,6 +396,23 @@ class NaiveServer:
         return served
 
     def _dispatch(self, request: ServeRequest) -> ServeResponse:
+        tracer = self.kernel.tracer
+        if not tracer.enabled:
+            return self._dispatch_request(request)
+        tracer.add_span(
+            "admission_wait", category="admission",
+            start_ns=request.enqueued_at_ns,
+            end_ns=self.kernel.clock.now_ns,
+            tenant=request.tenant_id, request_id=request.request_id,
+        )
+        with tracer.span("serve_request", category="serve",
+                         tenant=request.tenant_id,
+                         request_id=request.request_id) as span:
+            response = self._dispatch_request(request)
+            span.annotate(ok=response.ok)
+            return response
+
+    def _dispatch_request(self, request: ServeRequest) -> ServeResponse:
         started_ns = self.kernel.clock.now_ns
         gateway = self._freepart.deploy(plan=self.plan)
         ok, error, values = True, "", None

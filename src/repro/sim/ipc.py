@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import ChannelClosed, ChannelFull
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import VirtualClock
 from repro.sim.memory import payload_nbytes
 
@@ -106,11 +107,13 @@ class Channel:
         clock: VirtualClock,
         accounting: IpcAccounting,
         capacity_bytes: int = DEFAULT_CHANNEL_CAPACITY,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.name = name
         self.capacity_bytes = capacity_bytes
         self._clock = clock
         self._accounting = accounting
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._queue: Deque[Message] = deque()
         self._queued_bytes = 0
         self._seq = itertools.count()
@@ -175,7 +178,22 @@ class Channel:
         self.sent_messages += 1
         self.sent_bytes += nbytes
         cost = self._clock.cost_model
-        self._clock.advance(cost.ipc_message_ns + cost.serialize_cost(nbytes))
+        tracer = self.tracer
+        if tracer.enabled:
+            # Split the single charge so the rollup separates message
+            # framing (ipc) from payload serialization; the sum is
+            # identical to the untraced advance.
+            with tracer.span("ipc_send", category="ipc", pid=sender_pid,
+                             channel=self.name, kind=kind, bytes=nbytes):
+                self._clock.advance(cost.ipc_message_ns)
+            with tracer.span("serialize", category="serialize",
+                             pid=sender_pid, channel=self.name, kind=kind,
+                             bytes=nbytes):
+                self._clock.advance(cost.serialize_cost(nbytes))
+        else:
+            self._clock.advance(
+                cost.ipc_message_ns + cost.serialize_cost(nbytes)
+            )
         self._accounting.record_message(nbytes)
         return message
 
@@ -207,10 +225,15 @@ class ChannelPair:
         clock: VirtualClock,
         accounting: IpcAccounting,
         capacity_bytes: int = DEFAULT_CHANNEL_CAPACITY,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.name = name
-        self.request = Channel(f"{name}.req", clock, accounting, capacity_bytes)
-        self.response = Channel(f"{name}.rsp", clock, accounting, capacity_bytes)
+        self.request = Channel(
+            f"{name}.req", clock, accounting, capacity_bytes, tracer=tracer
+        )
+        self.response = Channel(
+            f"{name}.rsp", clock, accounting, capacity_bytes, tracer=tracer
+        )
 
     def close(self) -> None:
         self.request.close()

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ProcessNotFound
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import CostModel, VirtualClock
 from repro.sim.devices import DeviceBoard
 from repro.sim.files import SimFileSystem
@@ -35,8 +37,17 @@ from repro.sim.process import ProcessState, SimProcess
 class SimKernel:
     """A single simulated machine."""
 
-    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
         self.clock = VirtualClock(cost_model=cost_model or CostModel())
+        #: Span tracer (repro.obs).  The no-op default costs hot paths a
+        #: single ``enabled`` check; ``enable_tracing`` swaps in a real one.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Machine-wide metrics registry (repro.obs.metrics).
+        self.metrics = MetricsRegistry()
         self.fs = SimFileSystem()
         self.devices = DeviceBoard()
         self.gui = GuiSubsystem()
@@ -50,6 +61,31 @@ class SimKernel:
         #: their outcomes); appended to by the attack layer, inspected by
         #: the evaluation harness.
         self.security_events: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def enable_tracing(self):
+        """Install a real span tracer on this machine (idempotent).
+
+        Existing processes and channels hold their own tracer reference,
+        so the swap walks the live topology too.  Returns the tracer.
+        """
+        if self.tracer.enabled:
+            return self.tracer
+        from repro.obs.tracer import SpanTracer
+
+        tracer = SpanTracer(self.clock)
+        self.tracer = tracer
+        for process in self._processes.values():
+            process.tracer = tracer
+            process.memory.tracer = tracer
+            tracer.name_track(process.pid, process.name)
+        for pair in self._channels.values():
+            pair.request.tracer = tracer
+            pair.response.tracer = tracer
+        return tracer
 
     # ------------------------------------------------------------------
     # Process management
@@ -67,10 +103,24 @@ class SimKernel:
         process = SimProcess(
             pid=pid, name=name, clock=self.clock,
             syscall_filter=syscall_filter, role=role,
+            tracer=self.tracer,
         )
         self._processes[pid] = process
         self.spawned_processes += 1
-        if charge:
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.name_track(pid, name)
+            span_name = "agent_spawn" if role == "agent" else "spawn"
+            if charge:
+                with tracer.span(span_name, category="spawn", pid=pid,
+                                 process=name):
+                    self.clock.advance(
+                        self.clock.cost_model.process_spawn_ns
+                    )
+            else:
+                tracer.instant(span_name, category="spawn", pid=pid,
+                               process=name)
+        elif charge:
             self.clock.advance(self.clock.cost_model.process_spawn_ns)
         return process
 
@@ -111,15 +161,28 @@ class SimKernel:
         new_filter = filter_spec.build() if filter_spec is not None else None
         if new_filter is not None:
             new_filter.seal()
-        replacement = self.spawn(
-            name=process.name,
-            syscall_filter=new_filter,
-            role=process.role,
-            charge=False,
-        )
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("restart", category="restart", pid=process.pid,
+                             process=process.name) as span:
+                replacement = self.spawn(
+                    name=process.name,
+                    syscall_filter=new_filter,
+                    role=process.role,
+                    charge=False,
+                )
+                span.annotate(new_pid=replacement.pid)
+                self.clock.advance(self.clock.cost_model.process_restart_ns)
+        else:
+            replacement = self.spawn(
+                name=process.name,
+                syscall_filter=new_filter,
+                role=process.role,
+                charge=False,
+            )
+            self.clock.advance(self.clock.cost_model.process_restart_ns)
         replacement.generation = process.generation + 1
         self.restarted_processes += 1
-        self.clock.advance(self.clock.cost_model.process_restart_ns)
         return replacement
 
     # ------------------------------------------------------------------
@@ -130,7 +193,7 @@ class SimKernel:
         """Get-or-create a named request/response channel pair."""
         pair = self._channels.get(name)
         if pair is None:
-            pair = ChannelPair(name, self.clock, self.ipc)
+            pair = ChannelPair(name, self.clock, self.ipc, tracer=self.tracer)
             self._channels[name] = pair
         return pair
 
@@ -161,11 +224,24 @@ class SimKernel:
         destination.require_alive()
         nbytes = payload_nbytes(payload)
         cost = self.clock.cost_model
-        if count_message:
-            self.clock.advance(cost.ipc_message_ns)
-            self.ipc.record_message(nbytes)
-        self.clock.advance(cost.copy_cost(nbytes))
-        self.ipc.record_copy(nbytes, lazy=lazy)
+        tracer = self.tracer
+        if tracer.enabled:
+            if count_message:
+                with tracer.span("ipc_message", category="ipc",
+                                 pid=destination.pid, bytes=nbytes, tag=tag):
+                    self.clock.advance(cost.ipc_message_ns)
+                    self.ipc.record_message(nbytes)
+            with tracer.span("ldc_copy" if lazy else "copy", category="copy",
+                             pid=destination.pid, bytes=nbytes, tag=tag,
+                             src=source.pid, lazy=lazy):
+                self.clock.advance(cost.copy_cost(nbytes))
+                self.ipc.record_copy(nbytes, lazy=lazy)
+        else:
+            if count_message:
+                self.clock.advance(cost.ipc_message_ns)
+                self.ipc.record_message(nbytes)
+            self.clock.advance(cost.copy_cost(nbytes))
+            self.ipc.record_copy(nbytes, lazy=lazy)
         return destination.memory.alloc(
             nbytes, tag=tag, payload=payload, origin_state=origin_state
         )

@@ -113,9 +113,18 @@ def payload_nbytes(payload: Any) -> int:
 class AddressSpace:
     """The virtual memory of a single simulated process."""
 
-    def __init__(self, pid: int, clock: Optional[VirtualClock] = None) -> None:
+    def __init__(
+        self,
+        pid: int,
+        clock: Optional[VirtualClock] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
         self.pid = pid
         self.clock = clock
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER
+            tracer = NULL_TRACER
+        self.tracer = tracer
         self._next_address = _HEAP_BASE
         self._next_buffer_id = 1
         self._buffers: Dict[int, Buffer] = {}
@@ -251,7 +260,14 @@ class AddressSpace:
             self._page_permissions[page] = permission
         self.mprotect_calls += 1
         if self.clock is not None:
-            self.clock.advance(self.clock.cost_model.mprotect_ns)
+            tracer = self.tracer
+            if tracer.enabled:
+                with tracer.span("mprotect", category="mprotect",
+                                 pid=self.pid, bytes=nbytes,
+                                 permission=str(permission)):
+                    self.clock.advance(self.clock.cost_model.mprotect_ns)
+            else:
+                self.clock.advance(self.clock.cost_model.mprotect_ns)
 
     def protect_buffer(self, buffer_id: int, permission: Permission) -> None:
         """mprotect an entire buffer's page range."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
 from repro.errors import ProcessCrashed, SyscallDenied
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import VirtualClock
 from repro.sim.filters import SyscallFilter, permissive_filter
 from repro.sim.memory import AddressSpace
@@ -47,12 +48,14 @@ class SimProcess:
         clock: VirtualClock,
         syscall_filter: Optional[SyscallFilter] = None,
         role: str = "host",
+        tracer: Optional[Any] = None,
     ) -> None:
         self.pid = pid
         self.name = name
         self.role = role
         self.clock = clock
-        self.memory = AddressSpace(pid, clock)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.memory = AddressSpace(pid, clock, tracer=self.tracer)
         self.filter = syscall_filter if syscall_filter is not None else permissive_filter()
         self.state = ProcessState.RUNNING
         self.crash_record: Optional[CrashRecord] = None
@@ -106,7 +109,28 @@ class SimProcess:
         """
         self.require_alive()
         cost = self.clock.cost_model
-        self.clock.advance(cost.syscall_filter_check_ns)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("syscall_check", category="filter_check",
+                             pid=self.pid, syscall=name):
+                self._checked_filter_entry(name, fd, path, nbytes)
+            with tracer.span("syscall", category="syscall", pid=self.pid,
+                             syscall=name):
+                self.clock.advance(cost.syscall_ns)
+        else:
+            self._checked_filter_entry(name, fd, path, nbytes)
+            self.clock.advance(cost.syscall_ns)
+        record = SyscallInvocation(
+            pid=self.pid, name=name, fd=fd, path=path, nbytes=nbytes, allowed=True
+        )
+        self.syscall_log.append(record)
+        return record
+
+    def _checked_filter_entry(
+        self, name: str, fd: Optional[int], path: Optional[str], nbytes: int
+    ) -> None:
+        """Charge the filter check and run it; a denial crashes us."""
+        self.clock.advance(self.clock.cost_model.syscall_filter_check_ns)
         try:
             self.filter.check(self.pid, name, fd=fd, path=path)
         except SyscallDenied:
@@ -118,12 +142,6 @@ class SimProcess:
             )
             self.crash(f"seccomp kill on {name}", syscall=name)
             raise
-        self.clock.advance(cost.syscall_ns)
-        record = SyscallInvocation(
-            pid=self.pid, name=name, fd=fd, path=path, nbytes=nbytes, allowed=True
-        )
-        self.syscall_log.append(record)
-        return record
 
     def syscalls_used(self) -> List[str]:
         """Distinct syscall names this process successfully executed."""

@@ -39,6 +39,7 @@ def rules_found(name):
     ("syscall_pool_violation.py", "syscall-pool"),
     ("wrong_partition_deref_violation.py", "wrong-partition-deref"),
     ("dead_api_violation.py", "dead-api"),
+    ("obs_annotation_violation.py", "dead-api"),
     ("uncategorizable_violation.py", "uncategorizable"),
     ("tenant_leak_violation.py", "tenant-ref-leak"),
 ])
@@ -52,6 +53,7 @@ def test_violating_fixture_is_flagged(name, rule):
     "syscall_pool_ok.py",
     "wrong_partition_deref_ok.py",
     "dead_api_ok.py",
+    "obs_annotation_ok.py",
     "uncategorizable_ok.py",
     "tenant_leak_ok.py",
 ])
@@ -98,6 +100,13 @@ def test_dead_api_covers_unknown_api_framework_and_unused_spec():
     assert any("no_such_api" in m for m in messages)
     assert any("fakelib" in m for m in messages)
     assert any("never_called" in m for m in messages)
+
+
+def test_obs_annotations_skip_only_the_obs_framework():
+    result = check_file(fixture("obs_annotation_violation.py"))
+    messages = [f.message for f in result.findings if f.rule == "dead-api"]
+    assert any("fakelib" in m for m in messages)
+    assert not any("obs" in m for m in messages)
 
 
 def test_uncategorizable_is_an_error():

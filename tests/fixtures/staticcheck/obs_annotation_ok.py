@@ -1,0 +1,18 @@
+"""Fixture: tracing annotations via the obs pseudo-framework (passes).
+
+``gateway.call("obs", ...)`` sites are dispatched to the span tracer as
+instant events (repro.core.gateway.OBS_FRAMEWORK), never to the API
+registry, so the dead-api rule must not flag them even though no such
+API exists anywhere.
+"""
+
+
+def pipeline(gateway):
+    """A legitimate pipeline with obs phase markers around each stage."""
+    gateway.call("obs", "mark", "load-start")
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    gateway.call("obs", "mark", "process-start")
+    edges = gateway.call("opencv", "Canny", image)
+    gateway.call("opencv", "imwrite", "/out/edges.png", edges)
+    gateway.call("obs", "mark", "done")
+    return edges

@@ -1,0 +1,14 @@
+"""Fixture: an obs annotation must not mask other dead call sites.
+
+The ``obs`` pseudo-framework is exempt from the dead-api rule, but the
+exemption is per-framework: the ``fakelib.transmogrify`` site in the
+same pipeline still resolves to no known API and must be flagged.
+"""
+
+
+def pipeline(gateway):
+    """An annotated pipeline with one genuinely dead call site."""
+    gateway.call("obs", "mark", "load-start")
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    gateway.call("fakelib", "transmogrify", image)
+    return image

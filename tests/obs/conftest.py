@@ -1,0 +1,23 @@
+"""Shared fixture: one fully traced FreePart drone run per module."""
+
+import pytest
+
+from repro.apps.base import Workload, execute_app
+from repro.apps.drone import DroneApp
+from repro.attacks.scenarios import build_gateway
+from repro.core.runtime import FreePartConfig
+from repro.sim.kernel import SimKernel
+
+
+@pytest.fixture(scope="module")
+def traced_drone():
+    """(kernel, report) of a drone-tracker run with tracing enabled."""
+    app = DroneApp()
+    kernel = SimKernel()
+    kernel.enable_tracing()
+    config = FreePartConfig(
+        trace=True, annotations=tuple(app.annotations)
+    )
+    gateway = build_gateway("freepart", kernel, app=app, config=config)
+    report = execute_app(app, gateway, Workload(items=2, image_size=16))
+    return kernel, report

@@ -1,0 +1,105 @@
+"""Metrics registry: counters, gauges, histograms, the GatewayStats shim."""
+
+import pytest
+
+from repro.core.apitypes import APIType
+from repro.core.gateway import CallRecord, GatewayStats
+from repro.obs.metrics import (
+    DEFAULT_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_increments_and_rejects_decrease():
+    counter = Counter("calls")
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("queue_depth")
+    gauge.set(4)
+    gauge.add(-3)
+    assert gauge.value == 1
+
+
+def test_histogram_buckets_are_upper_bound_inclusive():
+    hist = Histogram("lat", bounds=(10, 100, 1000))
+    for value in (10, 11, 100, 5000):
+        hist.observe(value)
+    # <=10, <=100, <=1000, overflow
+    assert hist.bucket_counts == [1, 2, 0, 1]
+    assert hist.count == 4
+    assert hist.total == 5121
+    assert hist.mean == pytest.approx(5121 / 4)
+
+
+def test_histogram_rejects_non_increasing_bounds():
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=(10, 10, 20))
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=())
+
+
+def test_default_buckets_are_a_fixed_geometric_ladder():
+    assert DEFAULT_NS_BUCKETS[0] == 1_000
+    assert len(DEFAULT_NS_BUCKETS) == 15
+    assert all(
+        b == a * 4
+        for a, b in zip(DEFAULT_NS_BUCKETS, DEFAULT_NS_BUCKETS[1:])
+    )
+
+
+def test_registry_instruments_are_get_or_create():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+
+
+def test_registry_snapshot_is_sorted_and_json_able():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.counter("a").inc(2)
+    registry.gauge("depth").set(3)
+    registry.histogram("lat", bounds=(1, 2)).observe(1)
+    snap = registry.snapshot()
+    assert list(snap["counters"]) == ["a", "b"]
+    assert snap["counters"]["a"] == 2
+    assert snap["gauges"]["depth"] == 3
+    assert snap["histograms"]["lat"]["count"] == 1
+    json.dumps(snap)  # must serialize cleanly
+
+
+def test_gateway_stats_shim_feeds_the_registry():
+    registry = MetricsRegistry()
+    stats = GatewayStats(registry=registry)
+    record = CallRecord(
+        framework="opencv", name="imread", qualname="cv2.imread",
+        api_type=APIType.LOADING,
+    )
+    stats.record(record)
+    stats.record(record)
+    # The legacy list API still works...
+    assert stats.total_calls() == 2
+    assert stats.unique_qualnames() == ["cv2.imread"]
+    # ...and the registry sees the same traffic.
+    assert registry.counter("gateway.api_calls").value == 2
+    assert registry.counter("gateway.calls.data_loading").value == 2
+
+
+def test_kernel_owns_a_registry_shared_by_its_gateways(traced_drone):
+    kernel, _ = traced_drone
+    snap = kernel.metrics.snapshot()
+    assert snap["counters"]["gateway.api_calls"] > 0
+    assert any(
+        name.startswith("gateway.calls.") for name in snap["counters"]
+    )
