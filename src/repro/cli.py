@@ -12,6 +12,7 @@
     python -m repro serve-bench --tenants 8      # serving throughput JSON
     python -m repro check examples/              # static partition linter
     python -m repro trace drone --out trace.json # Chrome-trace span export
+    python -m repro chaos 8 --seed 11 --campaign 50   # fault injection
 """
 
 from __future__ import annotations
@@ -328,6 +329,61 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.tables import render_table
+    from repro.faults.campaign import ChaosSettings, run_campaign
+
+    for flag, value in (("--campaign", args.campaign),
+                        ("--items", args.items),
+                        ("--image-size", args.image_size)):
+        if value < 1:
+            raise CliUsageError(f"{flag} must be >= 1, got {value}")
+    if args.fault_rate < 0:
+        raise CliUsageError(
+            f"--fault-rate must be >= 0, got {args.fault_rate}"
+        )
+    settings = ChaosSettings(
+        target=args.target,
+        seed=args.seed,
+        campaign=args.campaign,
+        fault_rate=args.fault_rate,
+        items=args.items,
+        image_size=args.image_size,
+    )
+    try:
+        report = run_campaign(settings)
+    except ValueError as exc:
+        raise CliUsageError(str(exc)) from None
+    if args.json:
+        payload = report.to_dict()
+        payload["digest"] = report.digest()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = []
+        for schedule in report.schedules:
+            held = [name for name, ok in sorted(schedule.invariants.items())
+                    if not ok]
+            rows.append([
+                schedule.index,
+                sum(schedule.injected.values()),
+                "ok" if schedule.ok else "failed-clean",
+                "PASS" if schedule.passed else "FAIL:" + ",".join(held),
+                schedule.restarts,
+            ])
+        print(render_table(
+            f"Chaos campaign — {settings.target} seed={settings.seed} "
+            f"rate={settings.fault_rate}",
+            ["schedule", "faults", "run", "invariants", "restarts"],
+            rows,
+            note=f"{report.faults_injected} faults over "
+                 f"{settings.campaign} schedules; "
+                 f"digest {report.digest()[:16]}",
+        ))
+    return 0 if report.passed else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.staticcheck import render_json, render_text, run_check
 
@@ -407,6 +463,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--image-size", type=int, default=16)
 
     p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign + recovery invariant checks",
+    )
+    p.add_argument("target",
+                   help="sample id, 'drone', 'serve-bench', or a CVE id")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    p.add_argument("--campaign", type=int, default=20,
+                   help="number of faulted schedules (default 20)")
+    p.add_argument("--fault-rate", type=float, default=0.02,
+                   help="per-decision fault probability (default 0.02)")
+    p.add_argument("--items", type=int, default=2)
+    p.add_argument("--image-size", type=int, default=16)
+    p.add_argument("--json", action="store_true",
+                   help="print the full campaign report as JSON")
+
+    p = sub.add_parser(
         "check",
         help="static partition linter over host-program source",
     )
@@ -427,6 +500,7 @@ _HANDLERS = {
     "studies": _cmd_studies,
     "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
+    "chaos": _cmd_chaos,
     "check": _cmd_check,
 }
 

@@ -171,19 +171,25 @@ class RpcBatchResponse:
 
 
 class SequenceTracker:
-    """Enforces exactly-once delivery per channel.
+    """Enforces exactly-once execution per agent channel.
 
-    The cooperative simulation cannot duplicate messages, but the tracker
-    still asserts the invariant (each sequence number executed at most
-    once, in order) so regressions in the RPC layer are caught, and it
-    exposes the retry counter used by at-least-once re-execution after a
-    restart.
+    Each request carries a sequence number; the tracker records every
+    *execution* of a number, so a duplicated or retransmitted request
+    that actually re-runs the API body shows up as a retry and breaks
+    ``exactly_once``.  The agent's reply cache turns such deliveries
+    into cache hits instead — recorded here as suppressed duplicates —
+    which is what keeps stateful APIs from double-applying when a lost
+    reply forces the sender to retransmit (the at-least-once protocol's
+    dedup half).
     """
 
     def __init__(self) -> None:
         self._seq = itertools.count(1)
         self.executed: Dict[int, int] = {}
         self.retries = 0
+        #: Deliveries answered from the reply cache without re-running
+        #: the API body (duplicated messages, retried requests).
+        self.duplicates_suppressed = 0
 
     def next_seq(self) -> int:
         return next(self._seq)
@@ -193,6 +199,10 @@ class SequenceTracker:
         if count >= 1:
             self.retries += 1
         self.executed[seq] = count + 1
+
+    def record_duplicate(self, seq: int) -> None:
+        """A delivery of ``seq`` was served from the reply cache."""
+        self.duplicates_suppressed += 1
 
     def executions_of(self, seq: int) -> int:
         return self.executed.get(seq, 0)

@@ -33,8 +33,10 @@ from repro.core.statemachine import TemporalStateMachine
 from repro.errors import (
     AgentUnavailable,
     AnnotationError,
+    ChannelFull,
     FrameworkCrash,
     ProcessCrashed,
+    RpcError,
     SegmentationFault,
     StaleObjectRef,
     SyscallDenied,
@@ -44,6 +46,17 @@ from repro.frameworks.registry import iter_apis
 from repro.sim.kernel import SimKernel
 from repro.sim.memory import Buffer, MemoryLayout
 from repro.sim.process import SimProcess
+
+#: Backoff schedule for transient :class:`ChannelFull` on a send: first
+#: retry after SEND_BACKOFF_BASE_NS, doubling up to the cap, at most
+#: SEND_BACKOFF_RETRIES retries before the last error propagates.
+SEND_BACKOFF_BASE_NS = 2_000
+SEND_BACKOFF_CAP_NS = 64_000
+SEND_BACKOFF_RETRIES = 4
+
+#: How many times a gateway retransmits a request whose message (or
+#: whose reply) was lost in flight before giving up with RpcError.
+MAX_RPC_RETRANSMITS = 4
 
 
 @dataclass(frozen=True)
@@ -94,6 +107,12 @@ class FreePartConfig:
     #: loop — e.g. a malicious input replayed at a restarted agent —
     #: eventually leaves the agent down instead of thrashing.
     max_restarts_per_agent: Optional[int] = None
+    #: How many times a dispatch retries the *same* request (same
+    #: sequence number) after the agent crashed and was restarted.  The
+    #: default 0 preserves crash-is-an-error semantics: one crash = one
+    #: FrameworkCrash surfaced to the caller.  Serving setups raise this
+    #: to mask faults behind at-least-once re-execution.
+    rpc_retries: int = 0
     #: Span tracing (repro.obs).  The tracer only reads the virtual
     #: clock, so enabling it changes no reproduced number; disabled (the
     #: default) the no-op tracer costs hot paths a single flag check.
@@ -178,6 +197,14 @@ class FreePartGateway(ApiGateway):
         self.categorization = categorization
         self.config = config
         self.events: List[SecurityEvent] = []
+        #: Requests retransmitted because the message or its reply was
+        #: lost in flight (at-least-once recovery, deduped at the agent).
+        self.retransmits = 0
+        #: Sends retried after a transient ChannelFull.
+        self.send_backoff_retries = 0
+        #: Partition label of the most recent agent crash (breaker
+        #: attribution in the serving layer).
+        self.last_crash_partition: Optional[str] = None
         self.host_store = ObjectStore(host)
         self._host_refs: Dict[int, ObjectRef] = {}
         self._annotations = {a.tag: a for a in config.annotations}
@@ -295,21 +322,134 @@ class FreePartGateway(ApiGateway):
             )
 
         request = self._build_request(agent, spec.qualname, args, kwargs)
-        agent.channel.request.send(self.host.pid, "request", request)
-        agent.channel.request.receive()
-        if not self.config.ldc:
-            self._eager_copy_args(agent, args)
-        try:
-            response = agent.execute(
+
+        def execute() -> Any:
+            if not self.config.ldc:
+                self._eager_copy_args(agent, args)
+            return agent.execute(
                 api, request, self._resolve_ref, ldc=self.config.ldc
             )
-        except (ProcessCrashed, SyscallDenied, SegmentationFault) as exc:
-            self._handle_agent_crash(agent, spec.qualname, exc)
-            raise FrameworkCrash(spec.qualname, exc) from exc
-        agent.channel.response.send(agent.process.pid, "response", response)
-        agent.channel.response.receive()
+
+        crash_retries = 0
+        while True:
+            try:
+                response = self._rpc_roundtrip(agent, request, execute)
+            except (ProcessCrashed, SyscallDenied, SegmentationFault) as exc:
+                self._handle_agent_crash(agent, spec.qualname, exc)
+                if crash_retries < self.config.rpc_retries and agent.alive:
+                    # Retry the SAME request (same sequence number): the
+                    # restarted agent re-executes from its checkpoint —
+                    # the at-least-once downgrade of Section 4.4.2.
+                    crash_retries += 1
+                    continue
+                raise FrameworkCrash(spec.qualname, exc) from exc
+            break
         self._maybe_end_init(agent)
         return self._finish_value(agent, spec, response.value)
+
+    # ------------------------------------------------------------------
+    # Hardened request/response exchange
+    # ------------------------------------------------------------------
+
+    def _send_with_backoff(
+        self, channel, sender_pid: int, kind: str, payload: Any
+    ):
+        """Send, retrying transient fullness with exponential backoff.
+
+        Permanent :class:`ChannelFull` (a message bigger than the ring
+        buffer itself) propagates immediately — no amount of waiting can
+        deliver it.  Transient fullness is retried up to
+        SEND_BACKOFF_RETRIES times; the final error propagates.
+        """
+        backoff_ns = SEND_BACKOFF_BASE_NS
+        attempt = 0
+        while True:
+            try:
+                return channel.send(sender_pid, kind, payload)
+            except ChannelFull as exc:
+                if exc.permanent or attempt >= SEND_BACKOFF_RETRIES:
+                    raise
+                tracer = self.kernel.tracer
+                if tracer.enabled:
+                    with tracer.span(
+                        "send_backoff", category="ipc", pid=sender_pid,
+                        channel=channel.name, attempt=attempt + 1,
+                        backoff_ns=backoff_ns,
+                    ):
+                        self.kernel.clock.advance(backoff_ns)
+                else:
+                    self.kernel.clock.advance(backoff_ns)
+                self.send_backoff_retries += 1
+                backoff_ns = min(backoff_ns * 2, SEND_BACKOFF_CAP_NS)
+                attempt += 1
+
+    def _rpc_roundtrip(
+        self,
+        agent: AgentProcess,
+        payload: Any,
+        execute,
+        request_kind: str = "request",
+        response_kind: str = "response",
+    ) -> Any:
+        """One at-least-once request/response exchange over the agent's
+        ring buffers.
+
+        A dropped request or reply is detected (the queue stays empty
+        after the send) and the request is retransmitted with the same
+        payload — the agent's reply cache turns re-deliveries into
+        duplicates instead of double-executions.  Duplicated messages
+        are drained and executed individually, exercising the dedup
+        path.  Gives up with :class:`RpcError` after
+        MAX_RPC_RETRANSMITS retransmissions.
+        """
+        channel = agent.channel
+        attempts = 0
+        while True:
+            # Discard in-flight leftovers from an aborted earlier attempt
+            # (a restarted agent's ring buffers start empty).  No-op on
+            # the fault-free path.
+            while channel.request.pending:
+                channel.request.receive()
+            while channel.response.pending:
+                channel.response.receive()
+            self._send_with_backoff(
+                channel.request, self.host.pid, request_kind, payload
+            )
+            if not channel.request.pending:
+                # Request lost in flight: retransmit.
+                attempts += 1
+                self.retransmits += 1
+                if attempts > MAX_RPC_RETRANSMITS:
+                    raise RpcError(
+                        f"request to agent {agent.partition.label!r} lost "
+                        f"{attempts} times; giving up"
+                    )
+                continue
+            response = None
+            while channel.request.pending:
+                channel.request.receive()
+                # Each delivery (duplicates included) reaches the agent;
+                # the reply cache makes re-execution a cache hit.
+                response = execute()
+            self._send_with_backoff(
+                channel.response, agent.process.pid, response_kind, response
+            )
+            if not channel.response.pending:
+                # Reply lost in flight: retransmit the request; the
+                # agent answers from its reply cache without re-applying
+                # stateful effects.
+                attempts += 1
+                self.retransmits += 1
+                if attempts > MAX_RPC_RETRANSMITS:
+                    raise RpcError(
+                        f"reply from agent {agent.partition.label!r} lost "
+                        f"{attempts} times; giving up"
+                    )
+                continue
+            delivered = None
+            while channel.response.pending:
+                delivered = channel.response.receive()
+            return delivered.payload
 
     def _finish_value(self, agent: AgentProcess, spec, value: Any) -> Any:
         """Post-process one response value back into the host's view."""
@@ -390,6 +530,7 @@ class FreePartGateway(ApiGateway):
     ) -> None:
         agent.process.crash(str(exc))
         agent.stats.crashes += 1
+        self.last_crash_partition = agent.partition.label
         self.events.append(SecurityEvent(
             kind=type(exc).__name__,
             qualname=qualname,

@@ -179,6 +179,16 @@ class RequestTimeout(ServeError):
     """A queued request's virtual-clock deadline passed before dispatch."""
 
 
+class CircuitOpen(ServeError):
+    """A per-partition circuit breaker is open.
+
+    After repeated crashes of the same partition's agents the serving
+    layer stops dispatching work at it for a cooldown window and sheds
+    affected requests to degraded-but-correct responses instead of
+    burning restart budget on a crash loop.
+    """
+
+
 class AttackBlocked(ReproError):
     """An attack step was stopped by an isolation mechanism.
 

@@ -1,0 +1,34 @@
+"""Seeded, deterministic fault injection for the simulated substrate.
+
+The paper's availability mechanisms — agent restart, at-least-once RPC,
+periodic checkpoints of stateful APIs (Section 4.4.2, Appendix A.2.4) —
+are only ever exercised by happy-path crash tests unless something
+adversarial schedules faults *inside* the RPC, IPC, and checkpoint
+machinery.  This package provides that scheduler:
+
+:class:`~repro.faults.plan.FaultPlan`
+    A seeded RNG making one deterministic draw per decision point
+    (every channel send, every RPC execution, every checkpoint write,
+    every restart).  The simulation is single-threaded, so a seed fully
+    determines the fault schedule.
+:class:`~repro.faults.injector.FaultInjector`
+    The hook object the sim kernel consults.  Installed with
+    ``kernel.inject_faults(...)`` (mirroring ``kernel.enable_tracing``);
+    the default on every kernel is the zero-cost :data:`NULL_INJECTOR`.
+:mod:`~repro.faults.campaign`
+    Seeded chaos campaigns over apps, CVE replays, and the serving
+    bench, asserting the recovery invariants after every schedule.
+"""
+
+from repro.faults.injector import NULL_INJECTOR, FaultInjector, NullInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultRates, NoFaultPlan
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultRates",
+    "NoFaultPlan",
+    "FaultInjector",
+    "NullInjector",
+    "NULL_INJECTOR",
+]

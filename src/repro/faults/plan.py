@@ -1,0 +1,158 @@
+"""Seeded fault schedules.
+
+A :class:`FaultPlan` decides, at every hook point the injector exposes,
+whether a fault fires and which kind.  Decisions are draws from one
+``random.Random`` seeded at construction; because the simulation is
+single-threaded and cooperative, the sequence of decision points for a
+given workload is itself deterministic, so ``(seed, workload)`` fully
+determines the fault schedule — the property the chaos campaigns rely on
+for byte-identical reruns.
+
+The plan deliberately knows nothing about the kernel: hook methods
+receive plain context values (channel name, API qualname, item count) so
+tests can substitute scripted plans (subclass :class:`NoFaultPlan`) that
+target one specific send or checkpoint.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+class FaultKind(enum.Enum):
+    """Every fault the injector can schedule."""
+
+    #: Agent dies before the API body runs (request lost, no state applied).
+    CRASH_BEFORE_EXECUTE = "crash-before-execute"
+    #: Agent dies after the API body ran but before any reply was built
+    #: (state applied, caller sees nothing — the double-apply hazard).
+    CRASH_AFTER_EXECUTE = "crash-after-execute"
+    #: Agent dies with the reply built and cached but never sent.
+    CRASH_MID_REPLY = "crash-mid-reply"
+    #: An IPC message is silently lost in transit.
+    IPC_DROP = "ipc-drop"
+    #: An IPC message is delivered twice.
+    IPC_DUPLICATE = "ipc-duplicate"
+    #: The last two queued messages swap delivery order.
+    IPC_REORDER = "ipc-reorder"
+    #: The ring buffer reports transient fullness for this send.
+    CHANNEL_STALL = "channel-stall"
+    #: The checkpoint write tears partway through and the agent dies.
+    CHECKPOINT_TEAR = "checkpoint-tear"
+    #: The freshly restarted process dies immediately (restart storm).
+    RESTART_CRASH = "restart-crash"
+
+
+#: The three in-RPC crash points, in the order `_execute_raw` hits them.
+RPC_CRASH_POINTS = (
+    FaultKind.CRASH_BEFORE_EXECUTE,
+    FaultKind.CRASH_AFTER_EXECUTE,
+    FaultKind.CRASH_MID_REPLY,
+)
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-decision-point probabilities of each fault class."""
+
+    rpc_crash: float = 0.01
+    ipc_drop: float = 0.01
+    ipc_duplicate: float = 0.01
+    ipc_reorder: float = 0.005
+    channel_stall: float = 0.005
+    checkpoint_tear: float = 0.2
+    restart_crash: float = 0.15
+
+    @classmethod
+    def scaled(cls, fault_rate: float) -> "FaultRates":
+        """One-knob rates: ``fault_rate`` is the per-decision probability
+        of the common faults; rarer decision points (checkpoint writes,
+        restarts) are scaled up so small campaigns still reach them."""
+        if fault_rate < 0:
+            raise ValueError(f"fault rate must be >= 0, got {fault_rate}")
+        return cls(
+            rpc_crash=fault_rate,
+            ipc_drop=fault_rate,
+            ipc_duplicate=fault_rate,
+            ipc_reorder=fault_rate / 2,
+            channel_stall=fault_rate / 2,
+            checkpoint_tear=min(5 * fault_rate, 0.5),
+            restart_crash=min(3 * fault_rate, 0.5),
+        )
+
+
+class NoFaultPlan:
+    """The do-nothing plan: every hook declines.  Tests subclass this to
+    script one targeted fault (e.g. "drop the first response message")
+    without touching the seeded RNG machinery."""
+
+    def rpc_crash_point(self, qualname: str, seq: int) -> Optional[FaultKind]:
+        """A crash point for this RPC execution, or None."""
+        return None
+
+    def channel_verdict(
+        self, channel_name: str, kind: str, nbytes: int
+    ) -> Optional[FaultKind]:
+        """An IPC fault for this send (drop/duplicate/reorder/stall), or
+        None."""
+        return None
+
+    def checkpoint_tear(self, agent_label: str, items: int) -> Optional[int]:
+        """Tear offset (how many state entries reach storage before the
+        write dies) in ``[0, items)``, or None for a clean write."""
+        return None
+
+    def restart_crash(self, agent_label: str) -> bool:
+        """Whether the replacement process dies immediately."""
+        return False
+
+
+class FaultPlan(NoFaultPlan):
+    """A seeded random fault schedule (one RNG draw per decision)."""
+
+    def __init__(self, seed: int, rates: Optional[FaultRates] = None) -> None:
+        self.seed = seed
+        self.rates = rates if rates is not None else FaultRates()
+        self._rng = random.Random(seed)
+        #: Total decision points consulted — part of the schedule digest,
+        #: so a rerun that diverges in control flow is caught even when
+        #: it injects the same faults.
+        self.decisions = 0
+
+    def _draw(self) -> float:
+        self.decisions += 1
+        return self._rng.random()
+
+    def rpc_crash_point(self, qualname: str, seq: int) -> Optional[FaultKind]:
+        if self._draw() >= self.rates.rpc_crash:
+            return None
+        self.decisions += 1
+        return RPC_CRASH_POINTS[self._rng.randrange(len(RPC_CRASH_POINTS))]
+
+    def channel_verdict(
+        self, channel_name: str, kind: str, nbytes: int
+    ) -> Optional[FaultKind]:
+        rates = self.rates
+        draw = self._draw()
+        for probability, kind_ in (
+            (rates.ipc_drop, FaultKind.IPC_DROP),
+            (rates.ipc_duplicate, FaultKind.IPC_DUPLICATE),
+            (rates.ipc_reorder, FaultKind.IPC_REORDER),
+            (rates.channel_stall, FaultKind.CHANNEL_STALL),
+        ):
+            if draw < probability:
+                return kind_
+            draw -= probability
+        return None
+
+    def checkpoint_tear(self, agent_label: str, items: int) -> Optional[int]:
+        if items <= 0 or self._draw() >= self.rates.checkpoint_tear:
+            return None
+        self.decisions += 1
+        return self._rng.randrange(items)
+
+    def restart_crash(self, agent_label: str) -> bool:
+        return self._draw() < self.rates.restart_crash

@@ -1,0 +1,116 @@
+"""Per-partition circuit breakers for the serving layer.
+
+A partition whose agents keep crashing (a poisoned input replayed at
+every restart, an injected restart storm) would otherwise burn the whole
+pool's restart budget while every affected request eats a full
+crash-restart-retry cycle.  The breaker watches consecutive dispatch
+failures per partition and, past a threshold, *opens*: requests needing
+that partition are shed to degraded-but-correct responses without
+touching an agent.  After a virtual-clock cooldown the breaker lets one
+probe request through (half-open); success closes it, failure re-opens
+it for another cooldown.
+
+All timing is virtual-clock based, so breaker behavior is exactly as
+deterministic as the rest of the simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.sim.clock import VirtualClock
+
+#: Consecutive failures that open a breaker.
+DEFAULT_FAILURE_THRESHOLD = 3
+#: Virtual time an open breaker waits before probing (20 ms).
+DEFAULT_COOLDOWN_NS = 20_000_000
+
+
+class BreakerState(str, enum.Enum):
+    """The classic three breaker states (closed = traffic flows)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One breaker guarding one partition's dispatch path."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: VirtualClock,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        cooldown_ns: int = DEFAULT_COOLDOWN_NS,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown_ns = cooldown_ns
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ns = 0
+        self._probe_inflight = False
+        # Counters for reports.
+        self.opened_count = 0
+        self.shed_requests = 0
+        self.probes = 0
+
+    def allow(self) -> bool:
+        """Whether a request may dispatch at this partition right now.
+
+        In the half-open state exactly one probe is allowed at a time;
+        a granted probe must be settled by ``record_success`` /
+        ``record_failure`` (or returned via ``release_probe`` if the
+        request was shed by another breaker before dispatching).
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        now = self.clock.now_ns
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at_ns < self.cooldown_ns:
+                return False
+            self.state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        self.probes += 1
+        return True
+
+    def release_probe(self) -> None:
+        """Return an unused half-open probe slot."""
+        self._probe_inflight = False
+
+    def record_success(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state is BreakerState.HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            self._open()
+
+    def record_shed(self) -> None:
+        self.shed_requests += 1
+
+    def _open(self) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at_ns = self.clock.now_ns
+        self.opened_count += 1
+        self._probe_inflight = False
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "opened_count": self.opened_count,
+            "shed_requests": self.shed_requests,
+            "probes": self.probes,
+        }

@@ -218,20 +218,25 @@ class ServeGateway(FreePartGateway):
             group_apis.append(apis[index])
 
         batch = RpcBatchRequest(requests=tuple(requests))
-        agent.channel.request.send(self.host.pid, "batch-request", batch)
-        agent.channel.request.receive()
-        try:
-            response = agent.execute_batch(
+
+        def execute():
+            return agent.execute_batch(
                 group_apis, batch, self._resolve_ref, ldc=self.config.ldc
+            )
+
+        try:
+            # The hardened roundtrip retransmits lost batches and drains
+            # duplicated deliveries; the agent's per-item reply cache
+            # keeps re-delivered batch items exactly-once.
+            response = self._rpc_roundtrip(
+                agent, batch, execute,
+                request_kind="batch-request",
+                response_kind="batch-response",
             )
         except (ProcessCrashed, SyscallDenied, SegmentationFault) as exc:
             label = f"{group_apis[0].spec.qualname} (batch of {len(group)})"
             self._handle_agent_crash(agent, label, exc)
             raise FrameworkCrash(label, exc) from exc
-        agent.channel.response.send(
-            agent.process.pid, "batch-response", response
-        )
-        agent.channel.response.receive()
         self._maybe_end_init(agent)
         self.batch_stats.record_group(len(group), chains)
 

@@ -35,6 +35,9 @@ class PoolStats:
     returns: int = 0
     restarts: int = 0
     crashes_repaired: int = 0
+    #: Repairs abandoned because the member's restart budget ran out;
+    #: the member stays dead and lease() skips it.
+    budget_exhausted: int = 0
 
 
 class PoolMember:
@@ -89,7 +92,13 @@ class AgentPool:
             if not member.agent.alive:
                 # Died between leases (e.g. a crash observed at return
                 # time with repair deferred): repair before handing out.
-                member.agent.restart()
+                try:
+                    member.agent.restart()
+                except AgentUnavailable:
+                    # Restart budget spent: this member is permanently
+                    # down, but its pool siblings can still serve.
+                    self.stats.budget_exhausted += 1
+                    continue
                 self.stats.restarts += 1
                 self.stats.crashes_repaired += 1
                 repaired = True
@@ -115,7 +124,15 @@ class AgentPool:
         not a pool slot."""
         repaired = False
         if not member.agent.alive:
-            member.agent.restart()
+            try:
+                member.agent.restart()
+            except AgentUnavailable:
+                # Out of restart budget: return the member dead; lease()
+                # will skip it while its siblings carry the load.
+                self.stats.budget_exhausted += 1
+                member.leased_to = None
+                self.stats.returns += 1
+                return
             self.stats.restarts += 1
             self.stats.crashes_repaired += 1
             repaired = True

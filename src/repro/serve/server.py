@@ -35,8 +35,10 @@ from repro.errors import (
     TenantIsolationError,
 )
 from repro.frameworks.base import FrameworkAPI
+from repro.frameworks.registry import get_api
 from repro.serve.admission import AdmissionQueue
 from repro.serve.batching import BatchingStats
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.gateway import ServeGateway
 from repro.serve.metrics import ServingTimeline
 from repro.serve.pool import PoolSet
@@ -95,6 +97,9 @@ class ServeResponse:
     retries: int = 0
     service_ns: int = 0
     latency_ns: int = 0
+    #: True when the request was shed by an open circuit breaker: no
+    #: agent touched it, no output was produced — degraded but correct.
+    degraded: bool = False
 
 
 class PipelineServer:
@@ -137,6 +142,16 @@ class PipelineServer:
         self.tenants: Dict[str, Tenant] = {}
         self._request_ids = itertools.count(1)
         self.responses: List[ServeResponse] = []
+        #: One circuit breaker per partition: a partition whose agents
+        #: keep crashing is fenced off for a cooldown and its requests
+        #: shed to degraded responses instead of thrashing the pool.
+        self.breakers: Dict[str, CircuitBreaker] = {
+            partition.label: CircuitBreaker(
+                partition.label, self.kernel.clock
+            )
+            for partition in self.plan.partitions
+        }
+        self.degraded_responses = 0
 
     # ------------------------------------------------------------------
     # Tenants
@@ -228,8 +243,15 @@ class PipelineServer:
                 ),
             )
 
+        breaker_labels = self._breaker_labels(request)
         retries = 0
         while True:
+            shed = self._acquire_breakers(request, breaker_labels, retries)
+            if shed is not None:
+                tenant.requests_failed += 1
+                tenant.requests_degraded += 1
+                self.degraded_responses += 1
+                return shed
             leased = self.pools.lease_set(
                 request.tenant_id, slot_hint=request.request_id
             )
@@ -253,6 +275,9 @@ class PipelineServer:
                 # the whole request — at-least-once, like the one-shot
                 # runtime's post-restart re-execution.
                 self.pools.restore_set(leased)
+                self._settle_breakers(
+                    breaker_labels, crashed=gateway.last_crash_partition
+                )
                 if retries < self.max_retries:
                     retries += 1
                     continue
@@ -263,6 +288,7 @@ class PipelineServer:
                 )
             except TenantIsolationError as exc:
                 self.pools.restore_set(leased)
+                self._settle_breakers(breaker_labels, crashed=None)
                 tenant.isolation_violations += 1
                 tenant.requests_failed += 1
                 return self._finish(
@@ -271,16 +297,100 @@ class PipelineServer:
                 )
             except Exception as exc:  # application-level failure
                 self.pools.restore_set(leased)
+                self._settle_breakers(breaker_labels, crashed=None)
                 tenant.requests_failed += 1
                 return self._finish(
                     request, started_ns, retries,
                     ok=False, error=f"{type(exc).__name__}: {exc}",
                 )
             self.pools.restore_set(leased)
+            self._settle_breakers(breaker_labels, crashed=None)
             tenant.requests_completed += 1
             return self._finish(
                 request, started_ns, retries, ok=True, values=values
             )
+
+    # ------------------------------------------------------------------
+    # Circuit breaking
+    # ------------------------------------------------------------------
+
+    def _breaker_labels(self, request: ServeRequest) -> List[str]:
+        """Partition labels this request's calls are expected to touch.
+
+        Type-neutral and unknown APIs are skipped (they follow the
+        framework state, which is not known before dispatch); the set is
+        sorted so breaker acquisition order is deterministic.
+        """
+        labels = set()
+        for call in request.calls:
+            try:
+                qualname = get_api(call.framework, call.name).spec.qualname
+            except Exception:
+                continue
+            if qualname not in self.categorization:
+                continue
+            entry = self.categorization.get(qualname)
+            if entry.neutral:
+                continue
+            partition = self.plan.partition_of(qualname)
+            if partition is None:
+                partition = self.plan.partition_for_type(entry.api_type)
+            if partition is not None:
+                labels.add(partition.label)
+        return sorted(labels)
+
+    def _acquire_breakers(
+        self, request: ServeRequest, labels: List[str], retries: int
+    ) -> Optional[ServeResponse]:
+        """Ask every involved breaker for passage.
+
+        Returns None when the request may dispatch; otherwise a shed
+        (degraded) response.  Probes granted by earlier breakers are
+        released if a later one sheds, so a half-open slot is never
+        leaked on a request that did not run.
+        """
+        granted: List[CircuitBreaker] = []
+        for label in labels:
+            breaker = self.breakers[label]
+            if breaker.allow():
+                granted.append(breaker)
+                continue
+            for earlier in granted:
+                earlier.release_probe()
+            breaker.record_shed()
+            started_ns = self.kernel.clock.now_ns
+            response = self._finish(
+                request, started_ns, retries,
+                ok=False,
+                error=(
+                    f"CircuitOpen: partition {label!r} is shedding load "
+                    "(degraded response, no agent dispatched)"
+                ),
+            )
+            response.degraded = True
+            return response
+        return None
+
+    def _settle_breakers(
+        self, labels: List[str], crashed: Optional[str]
+    ) -> None:
+        """Record the dispatch outcome with every involved breaker."""
+        for label in labels:
+            breaker = self.breakers[label]
+            if crashed is None:
+                breaker.record_success()
+            elif label == crashed:
+                breaker.record_failure()
+            else:
+                # Not implicated in the crash: return any probe slot
+                # without resetting its failure history.
+                breaker.release_probe()
+        if crashed is not None and crashed not in labels:
+            # A neutral API crashed in a partition the pre-dispatch
+            # estimate missed; its breaker still learns about it.
+            breaker = self.breakers.get(crashed)
+            if breaker is not None:
+                breaker.record_failure()
 
     def _finish(
         self,
@@ -334,6 +444,11 @@ class PipelineServer:
             "tenant_refs_minted": self.registry.minted,
             "isolation_checks": self.registry.checks,
             "isolation_violations": self.registry.violations,
+            "degraded_responses": self.degraded_responses,
+            "breakers": {
+                label: breaker.snapshot()
+                for label, breaker in sorted(self.breakers.items())
+            },
         })
         return summary
 

@@ -43,6 +43,9 @@ class Tenant:
     requests_completed: int = 0
     requests_failed: int = 0
     isolation_violations: int = 0
+    #: Requests shed by an open circuit breaker (counted in
+    #: requests_failed too; no agent ever saw them).
+    requests_degraded: int = 0
 
 
 @dataclass
@@ -115,3 +118,18 @@ class TenantRegistry:
 
     def refs_of(self, tenant_id: str) -> int:
         return sum(1 for owner in self._owners.values() if owner == tenant_id)
+
+    def stale_keys(self, processes) -> list:
+        """Registered ref keys whose (pid, generation) no longer exists.
+
+        After every restart's ``evict_generation`` this must be empty:
+        a surviving stale key would let a tenant replay a reference into
+        an address space rebuilt since — the chaos campaign's
+        cross-tenant-survival invariant checks exactly this.
+        """
+        live = {
+            (process.pid, process.generation) for process in processes
+        }
+        return sorted(
+            key for key in self._owners if (key[0], key[1]) not in live
+        )

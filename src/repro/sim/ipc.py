@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import ChannelClosed, ChannelFull
+from repro.faults.injector import NULL_INJECTOR
+from repro.faults.plan import FaultKind
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import VirtualClock
 from repro.sim.memory import payload_nbytes
@@ -108,12 +110,14 @@ class Channel:
         accounting: IpcAccounting,
         capacity_bytes: int = DEFAULT_CHANNEL_CAPACITY,
         tracer: Optional[Any] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         self.name = name
         self.capacity_bytes = capacity_bytes
         self._clock = clock
         self._accounting = accounting
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self._queue: Deque[Message] = deque()
         self._queued_bytes = 0
         self._seq = itertools.count()
@@ -161,6 +165,17 @@ class Channel:
                 "delivered — do not retry",
                 permanent=True,
             )
+        faults = self.faults
+        verdict = (
+            faults.channel_action(self, kind, nbytes)
+            if faults.enabled else None
+        )
+        if verdict is FaultKind.CHANNEL_STALL:
+            # Injected transient fullness: the sender's backoff loop is
+            # expected to retry (the queue itself still has room).
+            raise ChannelFull(
+                f"channel {self.name!r} transiently full (injected stall)"
+            )
         if self._queued_bytes + nbytes > self.capacity_bytes:
             raise ChannelFull(
                 f"channel {self.name!r} over capacity: "
@@ -173,8 +188,29 @@ class Channel:
             payload=payload,
             nbytes=nbytes,
         )
-        self._queue.append(message)
-        self._queued_bytes += nbytes
+        if verdict is not FaultKind.IPC_DROP:
+            # A dropped message is charged and accounted like any other
+            # send (the sender did the work) but never reaches the queue.
+            self._queue.append(message)
+            self._queued_bytes += nbytes
+            if (
+                verdict is FaultKind.IPC_DUPLICATE
+                and self._queued_bytes + nbytes <= self.capacity_bytes
+            ):
+                duplicate = Message(
+                    seq=next(self._seq),
+                    sender_pid=sender_pid,
+                    kind=kind,
+                    payload=payload,
+                    nbytes=nbytes,
+                )
+                self._queue.append(duplicate)
+                self._queued_bytes += nbytes
+            elif verdict is FaultKind.IPC_REORDER and len(self._queue) >= 2:
+                last = self._queue.pop()
+                previous = self._queue.pop()
+                self._queue.append(last)
+                self._queue.append(previous)
         self.sent_messages += 1
         self.sent_bytes += nbytes
         cost = self._clock.cost_model
@@ -226,13 +262,16 @@ class ChannelPair:
         accounting: IpcAccounting,
         capacity_bytes: int = DEFAULT_CHANNEL_CAPACITY,
         tracer: Optional[Any] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         self.name = name
         self.request = Channel(
-            f"{name}.req", clock, accounting, capacity_bytes, tracer=tracer
+            f"{name}.req", clock, accounting, capacity_bytes, tracer=tracer,
+            faults=faults,
         )
         self.response = Channel(
-            f"{name}.rsp", clock, accounting, capacity_bytes, tracer=tracer
+            f"{name}.rsp", clock, accounting, capacity_bytes, tracer=tracer,
+            faults=faults,
         )
 
     def close(self) -> None:

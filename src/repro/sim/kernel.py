@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ProcessNotFound
+from repro.faults.injector import NULL_INJECTOR
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import CostModel, VirtualClock
@@ -48,6 +49,9 @@ class SimKernel:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Machine-wide metrics registry (repro.obs.metrics).
         self.metrics = MetricsRegistry()
+        #: Fault injector (repro.faults).  The no-op default costs hot
+        #: paths a single ``enabled`` check; ``inject_faults`` arms one.
+        self.faults = NULL_INJECTOR
         self.fs = SimFileSystem()
         self.devices = DeviceBoard()
         self.gui = GuiSubsystem()
@@ -86,6 +90,25 @@ class SimKernel:
             pair.request.tracer = tracer
             pair.response.tracer = tracer
         return tracer
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def inject_faults(self, injector):
+        """Install a fault injector on this machine.
+
+        Channels created before the call hold their own injector
+        reference (like tracers), so the swap walks the live topology.
+        Passing :data:`~repro.faults.injector.NULL_INJECTOR` disarms
+        injection again.  Returns the injector.
+        """
+        self.faults = injector
+        injector.attach(self)
+        for pair in self._channels.values():
+            pair.request.faults = injector
+            pair.response.faults = injector
+        return injector
 
     # ------------------------------------------------------------------
     # Process management
@@ -193,7 +216,10 @@ class SimKernel:
         """Get-or-create a named request/response channel pair."""
         pair = self._channels.get(name)
         if pair is None:
-            pair = ChannelPair(name, self.clock, self.ipc, tracer=self.tracer)
+            pair = ChannelPair(
+                name, self.clock, self.ipc, tracer=self.tracer,
+                faults=self.faults,
+            )
             self._channels[name] = pair
         return pair
 

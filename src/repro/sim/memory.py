@@ -130,6 +130,13 @@ class AddressSpace:
         self._buffers: Dict[int, Buffer] = {}
         self._page_permissions: Dict[int, Permission] = {}
         self.mprotect_calls = 0
+        #: Write attempts the permission check denied (SIGSEGV delivered).
+        self.write_denials = 0
+        #: Writes that *completed* against a page lacking WRITE — an
+        #: independent audit re-check after every successful store;
+        #: the chaos campaign asserts this stays 0 under any fault
+        #: schedule ("no frozen-page write ever succeeds").
+        self.frozen_write_granted = 0
 
     # ------------------------------------------------------------------
     # Allocation
@@ -241,12 +248,23 @@ class AddressSpace:
         for page in pages_spanned(address, max(nbytes, 1)):
             granted = self._page_permissions.get(page, Permission.NONE)
             if needed & ~granted:
+                if needed & Permission.WRITE:
+                    self.write_denials += 1
                 raise SegmentationFault(
                     self.pid,
                     page * PAGE_SIZE,
                     needed.name.lower() if needed.name else str(needed),
                     f"page grants {granted!r}",
                 )
+
+    def _audit_write(self, address: int, nbytes: int) -> None:
+        """Post-write audit: count any write that got past the check onto
+        a non-writable page (must never happen; the chaos invariant)."""
+        for page in pages_spanned(address, max(nbytes, 1)):
+            granted = self._page_permissions.get(page, Permission.NONE)
+            if not granted & Permission.WRITE:
+                self.frozen_write_granted += 1
+                return
 
     def mprotect(self, address: int, nbytes: int, permission: Permission) -> None:
         """Change page protections for a mapped range (must be mapped)."""
@@ -311,6 +329,7 @@ class AddressSpace:
             self._page_permissions.pop(page, None)
         buffer.payload = payload
         buffer.nbytes = new_nbytes
+        self._audit_write(buffer.address, buffer.nbytes)
         return buffer
 
     def raw_write(self, address: int, nbytes: int, value: Any = None) -> Buffer:
@@ -326,6 +345,7 @@ class AddressSpace:
             raise SegmentationFault(self.pid, address, "write", "no buffer mapped")
         if value is not None:
             buffer.payload = value
+        self._audit_write(address, nbytes)
         return buffer
 
     def raw_read(self, address: int, nbytes: int) -> Any:

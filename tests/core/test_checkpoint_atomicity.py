@@ -1,0 +1,134 @@
+"""Checkpoint atomicity (satellite): torn writes never corrupt restore.
+
+A checkpoint is sealed with a content checksum computed over the
+*intended* snapshot before the write; a fault that tears the write
+stores truncated state under the full checksum.  Restore walks
+generations newest-to-oldest, detects the mismatch, and falls back to
+the previous intact generation — a torn checkpoint costs progress,
+never correctness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agent import (
+    CHECKPOINT_INTERVAL,
+    CheckpointRecord,
+    checkpoint_checksum,
+)
+from repro.core.runtime import FreePart
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import NoFaultPlan
+from repro.frameworks.base import Tensor
+from repro.frameworks.registry import get_framework
+
+
+class TearNextCheckpoint(NoFaultPlan):
+    """Tear the next checkpoint write at a fixed offset, then disarm."""
+
+    def __init__(self, offset=0):
+        self.offset = offset
+        self.armed = True
+
+    def checkpoint_tear(self, agent_label, items):
+        if not self.armed or items <= 0:
+            return None
+        self.armed = False
+        return min(self.offset, items - 1)
+
+
+@pytest.fixture
+def deployed():
+    freepart = FreePart()
+    gateway = freepart.deploy(used_apis=list(get_framework("tensorflow")))
+    return freepart.kernel, gateway
+
+
+def train_step(gateway):
+    return gateway.call(
+        "tensorflow", "estimator_DNNClassifier_train", Tensor(np.ones((4, 4)))
+    )
+
+
+def test_crash_during_checkpoint_restores_previous_generation(deployed):
+    kernel, gateway = deployed
+    # Generation 1 lands intact.
+    for _ in range(CHECKPOINT_INTERVAL):
+        train_step(gateway)
+    agent = gateway.agents[1]
+    assert agent.stats.checkpoints == 1
+
+    # Generation 2 is torn by an injected fault mid-write.
+    kernel.inject_faults(FaultInjector(TearNextCheckpoint(offset=0)))
+    for _ in range(CHECKPOINT_INTERVAL):
+        train_step(gateway)
+    assert agent.stats.checkpoints == 2
+    assert agent.stats.checkpoint_failures == 1
+
+    agent.process.crash("exploited")
+    agent.restart()
+    # Restore skipped the torn generation 2 and fell back to 1.
+    assert agent.stats.torn_checkpoints_detected == 1
+    assert agent.stats.restored_from_checkpoint == 1
+    assert train_step(gateway)["global_step"] == CHECKPOINT_INTERVAL + 1
+
+
+def test_torn_first_generation_restores_nothing(deployed):
+    kernel, gateway = deployed
+    kernel.inject_faults(FaultInjector(TearNextCheckpoint(offset=0)))
+    for _ in range(CHECKPOINT_INTERVAL):
+        train_step(gateway)
+    agent = gateway.agents[1]
+    assert agent.stats.checkpoint_failures == 1
+    agent.process.crash("exploited")
+    agent.restart()
+    # No intact generation exists: training restarts from step one.
+    assert agent.stats.torn_checkpoints_detected == 1
+    assert train_step(gateway)["global_step"] == 1
+
+
+def test_checkpoint_after_a_tear_repairs_durability(deployed):
+    kernel, gateway = deployed
+    kernel.inject_faults(FaultInjector(TearNextCheckpoint(offset=0)))
+    for _ in range(2 * CHECKPOINT_INTERVAL):  # torn gen 1, intact gen 2
+        train_step(gateway)
+    agent = gateway.agents[1]
+    agent.process.crash("exploited")
+    agent.restart()
+    assert train_step(gateway)["global_step"] == 2 * CHECKPOINT_INTERVAL + 1
+
+
+@given(
+    items=st.integers(min_value=1, max_value=8),
+    offset=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=50, deadline=None)
+def test_any_tear_offset_fails_validation(items, offset):
+    """Property: a write torn at ANY offset strictly before the end is
+    detected — truncated state never passes the full-state checksum."""
+    state = {f"api-{i}/step": i + 1 for i in range(items)}
+    checksum = checkpoint_checksum(state)
+    intact = CheckpointRecord(1, items, dict(state), checksum)
+    assert intact.validate()
+
+    tear_at = min(offset, items - 1)
+    kept = sorted(state)[:tear_at]
+    torn = CheckpointRecord(
+        2, items, {key: state[key] for key in kept}, checksum
+    )
+    assert not torn.validate()
+
+
+@given(st.integers(min_value=1, max_value=8))
+@settings(max_examples=25, deadline=None)
+def test_value_corruption_also_fails_validation(items):
+    """Same-length state with one mutated value is caught too: the seal
+    is a content checksum, not a record count."""
+    state = {f"api-{i}/step": i + 1 for i in range(items)}
+    record = CheckpointRecord(1, items, dict(state), checkpoint_checksum(state))
+    corrupted = dict(state)
+    corrupted[sorted(state)[0]] = 999
+    bad = CheckpointRecord(1, items, corrupted, record.checksum)
+    assert not bad.validate()

@@ -1,0 +1,117 @@
+"""RPC dedup (satellite regression): a lost reply must not double-apply.
+
+The hazard: the host sends ``train`` to the processing agent, the agent
+applies the stateful effect (global_step += 1), and the reply is lost in
+flight.  The gateway retransmits the same request; without dedup the
+agent would apply the step twice.  The reply cache answers the
+retransmission with the cached response instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import FreePart
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, NoFaultPlan
+from repro.frameworks.base import Tensor
+from repro.frameworks.registry import get_framework
+
+
+class DropNth(NoFaultPlan):
+    """Drop the n-th send of one message kind; deliver everything else."""
+
+    def __init__(self, kind, nth=1):
+        self.kind = kind
+        self.countdown = nth
+
+    def channel_verdict(self, channel_name, kind, nbytes):
+        if kind == self.kind and self.countdown > 0:
+            self.countdown -= 1
+            if self.countdown == 0:
+                return FaultKind.IPC_DROP
+        return None
+
+
+class DuplicateNth(NoFaultPlan):
+    """Duplicate the n-th send of one message kind."""
+
+    def __init__(self, kind, nth=1):
+        self.kind = kind
+        self.countdown = nth
+
+    def channel_verdict(self, channel_name, kind, nbytes):
+        if kind == self.kind and self.countdown > 0:
+            self.countdown -= 1
+            if self.countdown == 0:
+                return FaultKind.IPC_DUPLICATE
+        return None
+
+
+@pytest.fixture
+def deployed():
+    freepart = FreePart()
+    gateway = freepart.deploy(used_apis=list(get_framework("tensorflow")))
+    return freepart.kernel, gateway
+
+
+def train_step(gateway):
+    return gateway.call(
+        "tensorflow", "estimator_DNNClassifier_train", Tensor(np.ones((4, 4)))
+    )
+
+
+def processing_agent(gateway):
+    return gateway.agents[1]
+
+
+def test_lost_reply_retried_without_double_apply(deployed):
+    kernel, gateway = deployed
+    kernel.inject_faults(FaultInjector(DropNth("response")))
+    result = train_step(gateway)
+    # The retransmitted request was answered from the reply cache: the
+    # stateful counter advanced exactly once.
+    assert result["global_step"] == 1
+    agent = processing_agent(gateway)
+    assert gateway.retransmits == 1
+    assert agent.stats.deduped_requests == 1
+    assert agent.sequence.duplicates_suppressed == 1
+    assert agent.stats.requests == 1  # one real execution
+    # Later traffic is unaffected and the counter stays consistent.
+    assert train_step(gateway)["global_step"] == 2
+
+
+def test_duplicated_request_applies_once(deployed):
+    kernel, gateway = deployed
+    kernel.inject_faults(FaultInjector(DuplicateNth("request")))
+    result = train_step(gateway)
+    assert result["global_step"] == 1
+    agent = processing_agent(gateway)
+    assert agent.stats.deduped_requests == 1
+    assert agent.process.framework_state[
+        "tf.estimator.DNNClassifier.train/global_step"
+    ] == 1
+    assert train_step(gateway)["global_step"] == 2
+
+
+def test_lost_request_retransmitted(deployed):
+    kernel, gateway = deployed
+    kernel.inject_faults(FaultInjector(DropNth("request")))
+    assert train_step(gateway)["global_step"] == 1
+    agent = processing_agent(gateway)
+    # The first copy never reached the agent: no dedup needed, exactly
+    # one execution, one retransmission.
+    assert gateway.retransmits == 1
+    assert agent.stats.deduped_requests == 0
+    assert agent.stats.requests == 1
+
+
+def test_reply_cache_dies_with_the_process(deployed):
+    kernel, gateway = deployed
+    train_step(gateway)
+    agent = processing_agent(gateway)
+    assert agent._reply_cache
+    agent.process.crash("exploited")
+    agent.restart()
+    # Restart downgrades to at-least-once: the cache is gone.
+    assert not agent._reply_cache
+    assert train_step(gateway)["global_step"] == 1  # state not restored

@@ -1,0 +1,136 @@
+"""Chaos campaigns: the four invariants, determinism, the acceptance sweep."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults.campaign import (
+    SCHEDULE_SEED_STRIDE,
+    ChaosSettings,
+    RunOutcome,
+    check_invariants,
+    run_campaign,
+    run_target,
+)
+
+
+def outcome(**overrides):
+    base = dict(
+        ok=True, failed_clean=False, error="",
+        outputs={"/out/a": "d1", "/out/b": "d2"},
+        frozen_writes=0, stale_refs=0,
+        fault_ids=(), observed_fault_ids=(), injected_by_kind={},
+        decisions=0, virtual_ns=0, restarts=0, retries=0,
+        losses_accounted=0,
+    )
+    base.update(overrides)
+    return RunOutcome(**base)
+
+
+BASELINE = outcome()
+
+
+def test_identical_run_passes_all_invariants():
+    assert all(check_invariants(BASELINE, outcome()).values())
+
+
+def test_divergent_content_fails_output():
+    faulted = outcome(outputs={"/out/a": "CORRUPT", "/out/b": "d2"})
+    assert not check_invariants(BASELINE, faulted)["output"]
+
+
+def test_extra_file_fails_output():
+    faulted = outcome(outputs={**BASELINE.outputs, "/out/extra": "dx"})
+    assert not check_invariants(BASELINE, faulted)["output"]
+
+
+def test_missing_output_needs_an_accounted_loss():
+    partial = {"/out/a": "d1"}
+    silent = outcome(outputs=partial)
+    assert not check_invariants(BASELINE, silent)["output"]
+    accounted = outcome(outputs=partial, losses_accounted=1)
+    assert check_invariants(BASELINE, accounted)["output"]
+    failed = outcome(outputs=partial, ok=False, failed_clean=True)
+    assert check_invariants(BASELINE, failed)["output"]
+
+
+def test_frozen_write_fails_frozen():
+    assert not check_invariants(BASELINE, outcome(frozen_writes=1))["frozen"]
+
+
+def test_stale_ref_fails_refs():
+    assert not check_invariants(BASELINE, outcome(stale_refs=2))["refs"]
+
+
+def test_unobserved_fault_fails_observed():
+    faulted = outcome(fault_ids=(1, 2), observed_fault_ids=(1,))
+    assert not check_invariants(BASELINE, faulted)["observed"]
+    complete = outcome(fault_ids=(1, 2), observed_fault_ids=(1, 2))
+    assert check_invariants(BASELINE, complete)["observed"]
+
+
+def test_schedule_seeds_spread_and_never_collide_across_campaigns():
+    a = ChaosSettings(target="8", seed=0)
+    b = ChaosSettings(target="8", seed=1)
+    assert a.schedule_seed(1) - a.schedule_seed(0) == 1
+    seeds_a = {a.schedule_seed(i) for i in range(a.campaign)}
+    seeds_b = {b.schedule_seed(i) for i in range(b.campaign)}
+    assert not seeds_a & seeds_b
+    assert b.schedule_seed(0) == SCHEDULE_SEED_STRIDE
+
+
+def test_unknown_target_rejected():
+    settings = ChaosSettings(target="nonsense")
+    with pytest.raises(ValueError):
+        run_target("nonsense", settings, plan=None)
+
+
+def test_fault_free_run_of_each_target_kind_is_ok():
+    for target in ("8", "CVE-2017-12597", "serve-bench"):
+        settings = ChaosSettings(target=target, items=1, image_size=8)
+        result = run_target(target, settings, plan=None)
+        assert result.ok, (target, result.error)
+        assert result.fault_ids == ()
+        assert result.outputs
+
+
+def test_campaign_is_byte_deterministic():
+    settings = ChaosSettings(target="8", seed=5, campaign=3,
+                             fault_rate=0.1, items=1, image_size=8)
+    first = run_campaign(settings)
+    second = run_campaign(settings)
+    assert first.to_dict() == second.to_dict()
+    assert first.digest() == second.digest()
+    assert first.faults_injected > 0
+
+
+def test_campaign_report_shape():
+    settings = ChaosSettings(target="8", seed=2, campaign=2,
+                             fault_rate=0.1, items=1, image_size=8)
+    report = run_campaign(settings)
+    payload = report.to_dict()
+    assert payload["target"] == "8"
+    assert len(payload["schedules"]) == 2
+    for schedule in payload["schedules"]:
+        assert set(schedule["invariants"]) == {
+            "output", "frozen", "refs", "observed",
+        }
+    assert len(report.digest()) == 64
+
+
+def test_acceptance_sweep_three_apps_plus_serving():
+    """The PR's acceptance bar: a 200-schedule seeded campaign across
+    three applications and the serving workload, every invariant holding
+    on every schedule."""
+    total_schedules = 0
+    total_faults = 0
+    for target in ("2", "8", "drone", "serve-bench"):
+        settings = ChaosSettings(target=target, seed=11, campaign=50,
+                                 fault_rate=0.05, items=1, image_size=8)
+        report = run_campaign(settings)
+        assert report.passed, [
+            s.to_dict() for s in report.schedules if not s.passed
+        ]
+        total_schedules += len(report.schedules)
+        total_faults += report.faults_injected
+    assert total_schedules == 200
+    assert total_faults > 100  # the schedules genuinely inject faults

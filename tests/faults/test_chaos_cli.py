@@ -1,0 +1,62 @@
+"""The ``repro chaos`` subcommand: exit contract and report formats."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST = ["--campaign", "2", "--fault-rate", "0.1",
+        "--items", "1", "--image-size", "8"]
+
+
+def test_passing_campaign_exits_zero(capsys):
+    assert main(["chaos", "8", "--seed", "3"] + FAST) == 0
+    out = capsys.readouterr().out
+    assert "Chaos campaign" in out
+    assert "PASS" in out
+    assert "digest" in out
+
+
+def test_json_report(capsys):
+    assert main(["chaos", "8", "--seed", "3", "--json"] + FAST) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["passed"] is True
+    assert payload["target"] == "8"
+    assert len(payload["schedules"]) == 2
+    assert len(payload["digest"]) == 64
+
+
+def test_json_report_is_byte_identical_across_runs(capsys):
+    main(["chaos", "8", "--seed", "3", "--json"] + FAST)
+    first = capsys.readouterr().out
+    main(["chaos", "8", "--seed", "3", "--json"] + FAST)
+    assert capsys.readouterr().out == first
+
+
+def test_unknown_target_exits_two(capsys):
+    assert main(["chaos", "not-a-target"] + FAST) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_bad_flag_values_exit_two(capsys):
+    assert main(["chaos", "8", "--campaign", "0"]) == 2
+    assert main(["chaos", "8", "--fault-rate", "-1"]) == 2
+    capsys.readouterr()
+
+
+def test_invariant_failure_exits_one(capsys, monkeypatch):
+    import repro.faults.campaign as campaign
+
+    def broken(baseline, faulted):
+        return {"output": False, "frozen": True, "refs": True,
+                "observed": True}
+
+    monkeypatch.setattr(campaign, "check_invariants", broken)
+    assert main(["chaos", "8", "--seed", "3"] + FAST) == 1
+    assert "FAIL:output" in capsys.readouterr().out
+
+
+def test_serve_target_supported(capsys):
+    assert main(["chaos", "serve-bench", "--seed", "1"] + FAST) == 0
+    capsys.readouterr()

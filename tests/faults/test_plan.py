@@ -1,0 +1,89 @@
+"""Seeded fault plans: determinism, rate scaling, scripted overrides."""
+
+import pytest
+
+from repro.faults.plan import (
+    RPC_CRASH_POINTS,
+    FaultKind,
+    FaultPlan,
+    FaultRates,
+    NoFaultPlan,
+)
+
+
+def drive(plan, rounds=200):
+    """A fixed tour of every hook point; returns the verdict sequence."""
+    verdicts = []
+    for index in range(rounds):
+        verdicts.append(plan.rpc_crash_point("cv2.imread", index))
+        verdicts.append(plan.channel_verdict("agent-1", "request", 1024))
+        verdicts.append(plan.checkpoint_tear("processing", 4))
+        verdicts.append(plan.restart_crash("loading"))
+    return verdicts
+
+
+def test_same_seed_same_schedule():
+    first = drive(FaultPlan(42, FaultRates.scaled(0.3)))
+    second = drive(FaultPlan(42, FaultRates.scaled(0.3)))
+    assert first == second
+    assert any(v not in (None, False) for v in first)  # faults actually fire
+
+
+def test_different_seeds_diverge():
+    rates = FaultRates.scaled(0.3)
+    assert drive(FaultPlan(1, rates)) != drive(FaultPlan(2, rates))
+
+
+def test_zero_rate_never_fires():
+    plan = FaultPlan(7, FaultRates.scaled(0.0))
+    assert all(v in (None, False) for v in drive(plan, rounds=500))
+    assert plan.decisions > 0  # the draws still happened (digest input)
+
+
+def test_negative_rate_rejected():
+    with pytest.raises(ValueError):
+        FaultRates.scaled(-0.1)
+
+
+def test_crash_points_come_from_the_rpc_triple():
+    plan = FaultPlan(3, FaultRates(rpc_crash=1.0))
+    seen = {plan.rpc_crash_point("q", i) for i in range(50)}
+    assert seen <= set(RPC_CRASH_POINTS)
+    assert len(seen) > 1  # the point itself is drawn, not fixed
+
+
+def test_tear_offset_strictly_inside_items():
+    plan = FaultPlan(5, FaultRates(checkpoint_tear=1.0))
+    for _ in range(100):
+        offset = plan.checkpoint_tear("processing", 4)
+        assert offset is not None and 0 <= offset < 4
+    assert plan.checkpoint_tear("processing", 0) is None
+
+
+def test_decisions_count_every_draw():
+    plan = FaultPlan(9, FaultRates.scaled(0.0))
+    plan.rpc_crash_point("q", 0)
+    plan.channel_verdict("c", "request", 8)
+    plan.checkpoint_tear("p", 2)
+    plan.restart_crash("p")
+    assert plan.decisions == 4
+
+
+def test_no_fault_plan_declines_everything():
+    plan = NoFaultPlan()
+    assert plan.rpc_crash_point("q", 0) is None
+    assert plan.channel_verdict("c", "request", 8) is None
+    assert plan.checkpoint_tear("p", 3) is None
+    assert plan.restart_crash("p") is False
+
+
+def test_channel_verdict_covers_all_ipc_kinds():
+    plan = FaultPlan(11, FaultRates(
+        ipc_drop=0.25, ipc_duplicate=0.25, ipc_reorder=0.25,
+        channel_stall=0.25,
+    ))
+    seen = {plan.channel_verdict("c", "request", 8) for _ in range(300)}
+    assert {
+        FaultKind.IPC_DROP, FaultKind.IPC_DUPLICATE,
+        FaultKind.IPC_REORDER, FaultKind.CHANNEL_STALL,
+    } <= seen

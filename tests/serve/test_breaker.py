@@ -1,0 +1,150 @@
+"""Circuit breakers: state machine unit tests + server-level shedding."""
+
+import numpy as np
+import pytest
+
+from repro.core.gateway import ApiCall
+from repro.serve import PREV, PipelineServer
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker("processing", clock,
+                          failure_threshold=3, cooldown_ns=1_000)
+
+
+def test_closed_allows_and_success_resets(breaker):
+    assert breaker.allow()
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    assert breaker.consecutive_failures == 0
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_opens_at_threshold_and_blocks(breaker):
+    for _ in range(3):
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opened_count == 1
+    assert not breaker.allow()
+
+
+def test_cooldown_grants_exactly_one_probe(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(1_000)
+    assert breaker.allow()  # the probe
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert not breaker.allow()  # second caller is still shed
+    breaker.record_success()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow()
+
+
+def test_failed_probe_reopens_for_another_cooldown(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(1_000)
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opened_count == 2
+    assert not breaker.allow()
+    clock.advance(1_000)
+    assert breaker.allow()
+
+
+def test_release_probe_returns_the_slot(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(1_000)
+    assert breaker.allow()
+    breaker.release_probe()
+    assert breaker.allow()  # the slot is available again
+
+
+def test_snapshot_counts(breaker):
+    breaker.record_failure()
+    breaker.record_shed()
+    snap = breaker.snapshot()
+    assert snap["consecutive_failures"] == 1
+    assert snap["shed_requests"] == 1
+    assert snap["state"] == "closed"
+
+
+# ----------------------------------------------------------------------
+# Server integration
+# ----------------------------------------------------------------------
+
+
+def _pipeline(path, out):
+    return [
+        ApiCall("opencv", "imread", (path,)),
+        ApiCall("opencv", "GaussianBlur", (PREV,)),
+        ApiCall("opencv", "imwrite", (out, PREV)),
+    ]
+
+
+def test_server_has_one_breaker_per_partition():
+    server = PipelineServer(pool_size=1)
+    assert set(server.breakers) == {
+        p.label for p in server.plan.partitions
+    }
+    server.shutdown()
+
+
+def test_open_breaker_sheds_to_degraded_response(seed_inputs):
+    server = PipelineServer(pool_size=2)
+    paths = seed_inputs(server, tenants=1, requests=2)
+    # Force the processing partition's breaker open by hand.
+    breaker = server.breakers["data_processing"]
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure()
+    server.submit("tenant-0", _pipeline(paths[(0, 0)], "/out/shed"))
+    (response,) = server.drain()
+    assert not response.ok
+    assert response.degraded
+    assert "CircuitOpen" in response.error
+    assert "data_processing" in response.error
+    # No agent was dispatched: nothing was written.
+    assert not server.kernel.fs.exists("/out/shed")
+    assert server.degraded_responses == 1
+    assert server.tenants["tenant-0"].requests_degraded == 1
+    assert breaker.shed_requests >= 1
+    server.shutdown()
+
+
+def test_breaker_recovers_after_cooldown(seed_inputs):
+    server = PipelineServer(pool_size=2)
+    paths = seed_inputs(server, tenants=1, requests=2)
+    breaker = server.breakers["data_processing"]
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure()
+    server.kernel.clock.advance(breaker.cooldown_ns)
+    # The next request is the half-open probe; it succeeds and closes
+    # the breaker for everyone after it.
+    server.submit("tenant-0", _pipeline(paths[(0, 0)], "/out/probe"))
+    server.submit("tenant-0", _pipeline(paths[(0, 1)], "/out/after"))
+    responses = server.drain()
+    assert all(r.ok for r in responses), [r.error for r in responses]
+    assert breaker.state is BreakerState.CLOSED
+    assert server.kernel.fs.exists("/out/probe")
+    assert server.kernel.fs.exists("/out/after")
+    server.shutdown()
+
+
+def test_stats_expose_breaker_snapshots():
+    server = PipelineServer(pool_size=1)
+    stats = server.stats()
+    assert "degraded_responses" in stats
+    assert set(stats["breakers"]) == set(server.breakers)
+    server.shutdown()
