@@ -36,6 +36,12 @@ def run_once(partition_count: int, seed: int) -> float:
         partition_count=partition_count,
         partition_seed=seed,
         annotations=tuple(app.annotations),
+        # Fig. 4 reproduces the paper's *byte-copy* LDC phenomenon: the
+        # runtime jump when the hot API pair splits across partitions
+        # comes from repeated cross-agent byte copies.  Zero-copy
+        # remapping (this repo's extension) deliberately flattens that
+        # jump, so it is ablated here to keep the reproduced curve.
+        zero_copy=False,
     )
     gateway = FreePart(kernel=kernel, config=config).deploy(
         used_apis=used_api_objects(app)

@@ -82,6 +82,9 @@ def test_batching_helps_at_fixed_pool(result):
         on = _config(result, pool_size, batching=True)
         assert on["requests_per_second"] >= off["requests_per_second"]
         assert on["ipc_messages_saved"] > 0
+        # Fused batch framing trims envelope bytes on every batch.
+        assert on["fused_bytes_saved"] > 0
+        assert off["fused_bytes_saved"] == 0
 
 
 def test_every_pooled_config_beats_naive(result):

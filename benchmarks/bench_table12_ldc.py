@@ -50,3 +50,48 @@ def test_table12_lazy_copy_statistics(benchmark, reports):
     # Per-app: almost every application is LDC-dominated.
     dominated = [r for r in reports.values() if r.lazy_fraction > 0.8]
     assert len(dominated) >= len(reports) - 2
+
+
+def test_zero_copy_lane_reconciles():
+    """Large payloads take the zero-copy lane and byte totals still add up.
+
+    The table above uses small images (below the remap threshold), so
+    this check runs OMRChecker with paper-scale sheets: dereferences of
+    those sheets must remap pages instead of copying bytes, and the
+    machine-wide copy-byte total must reconcile *exactly* with the sum
+    of the lazy, non-lazy, and zero-copy lanes.
+    """
+    import numpy as np
+
+    from repro.apps.base import execute_app
+    from repro.attacks.scenarios import build_gateway
+    from repro.sim.kernel import SimKernel
+
+    app = make_app(8)
+    kernel = SimKernel()
+    gateway = build_gateway("freepart", kernel, app=app)
+    workload = Workload(items=2, image_size=16)
+    app.setup(kernel, workload)
+    rng = np.random.default_rng(3)
+    for item in range(workload.items):
+        sheet = rng.normal(size=(128, 128, 3))
+        kernel.fs.write_file(app.input_path(item), sheet)
+    report = execute_app(app, gateway, workload, setup=False)
+    assert not report.failed, report.error
+
+    assert report.zero_copy_transfers > 0
+    assert report.zero_copy_bytes > 0
+    ipc = kernel.ipc
+    assert ipc.total_copy_bytes == (
+        ipc.lazy_copy_bytes + ipc.nonlazy_copy_bytes + ipc.zero_copy_bytes
+    )
+    assert report.data_transferred_bytes == (
+        report.ipc_bytes + report.lazy_copy_bytes + report.zero_copy_bytes
+    )
+    assert kernel.data_transferred_bytes == report.data_transferred_bytes
+    # Zero-copy counts toward the lazy fraction: a remapped dereference
+    # is a lazy copy that got cheaper, not a new kind of eager copy.
+    lazy_like = report.lazy_copies + report.zero_copy_transfers
+    expected = lazy_like / (lazy_like + report.nonlazy_copies)
+    assert report.lazy_fraction == expected
+    assert report.lazy_fraction > 0.5

@@ -57,7 +57,8 @@ def main() -> None:
     print(f"IPC messages: {ipc.messages} ({ipc.message_bytes} bytes — "
           "references, not pixels)")
     print(f"data copies:  {ipc.lazy_copies} lazy / "
-          f"{ipc.nonlazy_copies} non-lazy "
+          f"{ipc.nonlazy_copies} non-lazy / "
+          f"{ipc.zero_copy_transfers} zero-copy remaps "
           f"({ipc.lazy_fraction * 100:.0f}% lazy)")
     print(f"state transitions: {gateway.machine.transition_count()} "
           f"({' -> '.join(s.value for s in gateway.machine.states_visited())})")

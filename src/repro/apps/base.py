@@ -408,6 +408,11 @@ def execute_app(
         lazy_copy_bytes=ipc_delta.lazy_copy_bytes,
         nonlazy_copies=ipc_delta.nonlazy_copies,
         nonlazy_copy_bytes=ipc_delta.nonlazy_copy_bytes,
+        zero_copy_transfers=ipc_delta.zero_copy_transfers,
+        zero_copy_bytes=ipc_delta.zero_copy_bytes,
+        cow_downgrades=ipc_delta.cow_downgrades,
+        cow_bytes=ipc_delta.cow_bytes,
+        framed_messages=ipc_delta.framed_messages,
         api_calls=gateway.stats.total_calls(),
         transitions=machine.transition_count() if machine else 0,
         protected_buffers=machine.protected_total if machine else 0,

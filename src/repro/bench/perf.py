@@ -1,0 +1,353 @@
+"""Deterministic perf trajectory: ``BENCH_*.json`` payloads + the gate.
+
+Three benchmark payloads — ``table9`` (end-to-end overhead), ``serve``
+(pooled serving throughput), ``ldc`` (lazy-data-copy ablation) — are
+rendered from the virtual clock only, so re-running a payload on any
+machine produces byte-identical JSON.  Committed baselines live at the
+repo root (``BENCH_table9.json`` etc.); ``repro bench`` re-measures and
+fails when a gated metric regresses by more than the tolerance.
+
+Payload schema (``freepart-bench/v1``)::
+
+    {
+      "schema": "freepart-bench/v1",
+      "bench": "table9",
+      "metrics": {
+        "<name>": {"value": <number>, "direction": "lower" | "higher"}
+      },
+      "details": { ... informational, never gated ... }
+    }
+
+``direction`` says which way is better; the gate fires when a metric
+moves the *wrong* way by more than ``tolerance`` (relative).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+SCHEMA = "freepart-bench/v1"
+BENCH_NAMES = ("table9", "serve", "ldc")
+DEFAULT_TOLERANCE = 0.05
+
+_DIRECTIONS = ("lower", "higher")
+
+
+# ----------------------------------------------------------------------
+# Payload builders (virtual-clock only — deterministic by construction)
+# ----------------------------------------------------------------------
+
+def _metric(value: float, direction: str) -> Dict[str, Any]:
+    if direction not in _DIRECTIONS:
+        raise ValueError(f"bad direction {direction!r}")
+    return {"value": value, "direction": direction}
+
+
+def _table9_run(technique: str):
+    """The Table 9 workload: OMRChecker over paper-scale sheets."""
+    import numpy as np
+
+    from repro.apps.base import Workload, execute_app
+    from repro.apps.suite import make_app
+    from repro.attacks.scenarios import build_gateway
+    from repro.sim.kernel import SimKernel
+
+    workload = Workload(items=4, image_size=16)
+    app = make_app(8)
+    kernel = SimKernel()
+    gateway = build_gateway(technique, kernel, app=app)
+    app.setup(kernel, workload)
+    rng = np.random.default_rng(9)
+    for item in range(workload.items):
+        sheet = np.zeros((128, 128, 3))
+        for x, y, w, h in ((8, 8, 32, 32), (72, 8, 32, 32), (8, 72, 32, 32)):
+            sheet[y:y + h, x:x + w] = 255.0
+        sheet += rng.normal(scale=2.0, size=sheet.shape)
+        kernel.fs.write_file(app.input_path(item), sheet)
+    report = execute_app(app, gateway, workload, setup=False)
+    if report.failed:
+        raise RuntimeError(f"table9 {technique} run failed: {report.error}")
+    return report
+
+
+def bench_table9() -> Dict[str, Any]:
+    """End-to-end FreePart overhead vs native (the Table 9 headline)."""
+    native = _table9_run("none")
+    freepart = _table9_run("freepart")
+    ratio = freepart.virtual_seconds / native.virtual_seconds
+    return {
+        "schema": SCHEMA,
+        "bench": "table9",
+        "metrics": {
+            "freepart_seconds": _metric(freepart.virtual_seconds, "lower"),
+            "overhead_ratio": _metric(round(ratio, 9), "lower"),
+            "ipc_messages": _metric(freepart.ipc_messages, "lower"),
+            "data_mb": _metric(
+                round(freepart.data_transferred_bytes / 1e6, 6), "lower"
+            ),
+        },
+        "details": {
+            "native_seconds": native.virtual_seconds,
+            "zero_copy_transfers": freepart.zero_copy_transfers,
+            "zero_copy_bytes": freepart.zero_copy_bytes,
+            "cow_downgrades": freepart.cow_downgrades,
+            "framed_messages": freepart.framed_messages,
+            "lazy_copies": freepart.lazy_copies,
+            "nonlazy_copies": freepart.nonlazy_copies,
+        },
+    }
+
+
+def bench_serve() -> Dict[str, Any]:
+    """Pooled + batched serving throughput vs the naive baseline."""
+    from repro.serve.bench import best_pooled, run_serving_benchmark
+
+    result = run_serving_benchmark(
+        tenants=4,
+        requests_per_tenant=2,
+        pool_sizes=(2,),
+        batching_modes=(True,),
+    )
+    champion = best_pooled(result)
+    return {
+        "schema": SCHEMA,
+        "bench": "serve",
+        "metrics": {
+            "pooled_requests_per_second": _metric(
+                champion["requests_per_second"], "higher"
+            ),
+            "speedup_vs_naive": _metric(
+                champion["speedup_vs_naive"], "higher"
+            ),
+            "ipc_messages_saved": _metric(
+                champion["ipc_messages_saved"], "higher"
+            ),
+            "fused_bytes_saved": _metric(
+                champion["fused_bytes_saved"], "higher"
+            ),
+        },
+        "details": {
+            "naive_requests_per_second":
+                result["configs"][0]["requests_per_second"],
+            "workload": result["workload"],
+            "champion": champion["name"],
+        },
+    }
+
+
+def bench_ldc() -> Dict[str, Any]:
+    """Overhead with LDC on vs the Section 5.2 no-LDC ablation."""
+    from repro.apps.base import Workload
+    from repro.bench.runner import average_overhead, overhead_sweep
+    from repro.core.runtime import FreePartConfig
+
+    workload = Workload(items=2, image_size=16)
+    samples = (1, 8, 16, 20)
+    with_ldc = average_overhead(overhead_sweep(samples, workload=workload))
+    without_ldc = average_overhead(overhead_sweep(
+        samples, workload=workload, config=FreePartConfig(ldc=False)
+    ))
+    return {
+        "schema": SCHEMA,
+        "bench": "ldc",
+        "metrics": {
+            "avg_overhead_with_ldc_pct": _metric(
+                round(with_ldc, 9), "lower"
+            ),
+            "ldc_gain_ratio": _metric(
+                round(without_ldc / with_ldc, 9), "higher"
+            ),
+        },
+        "details": {
+            "avg_overhead_without_ldc_pct": round(without_ldc, 9),
+            "samples": list(samples),
+        },
+    }
+
+
+_BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
+    "table9": bench_table9,
+    "serve": bench_serve,
+    "ldc": bench_ldc,
+}
+
+
+def build_payload(which: str) -> Dict[str, Any]:
+    """Measure one bench and return its validated payload."""
+    try:
+        builder = _BUILDERS[which]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench {which!r} (expected one of {BENCH_NAMES})"
+        ) from None
+    payload = builder()
+    errors = validate_payload(payload)
+    if errors:
+        raise RuntimeError(f"bench {which!r} produced a bad payload: {errors}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+
+def validate_payload(payload: Any) -> List[str]:
+    """Structural check of one payload; returns problems (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != SCHEMA:
+        errors.append(
+            f"schema is {payload.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    if payload.get("bench") not in BENCH_NAMES:
+        errors.append(f"bench is {payload.get('bench')!r}")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        errors.append("metrics must be a non-empty object")
+        return errors
+    for name, entry in metrics.items():
+        if not isinstance(entry, dict):
+            errors.append(f"metric {name!r} is not an object")
+            continue
+        value = entry.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"metric {name!r} value is not a number")
+        if entry.get("direction") not in _DIRECTIONS:
+            errors.append(
+                f"metric {name!r} direction must be one of {_DIRECTIONS}"
+            )
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Serialization (byte-identical across re-runs)
+# ----------------------------------------------------------------------
+
+def render_payload(payload: Dict[str, Any]) -> str:
+    """Canonical JSON text (sorted keys, trailing newline)."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def payload_filename(which: str) -> str:
+    """The committed-baseline filename for one bench."""
+    return f"BENCH_{which}.json"
+
+
+def write_payload(payload: Dict[str, Any], out_dir: str) -> str:
+    """Write a payload under ``out_dir``; returns the file path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, payload_filename(payload["bench"]))
+    with open(path, "w") as fh:
+        fh.write(render_payload(payload))
+    return path
+
+
+def load_payload(path: str) -> Dict[str, Any]:
+    """Load and validate a payload file (ValueError when malformed)."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    errors = validate_payload(payload)
+    if errors:
+        raise ValueError(f"{path}: {'; '.join(errors)}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric that moved the wrong way past tolerance."""
+
+    bench: str
+    metric: str
+    baseline: float
+    current: float
+    direction: str
+
+    @property
+    def change_pct(self) -> float:
+        if self.baseline == 0:
+            return float("inf")
+        return (self.current / self.baseline - 1.0) * 100.0
+
+    def describe(self) -> str:
+        arrow = "above" if self.direction == "lower" else "below"
+        return (
+            f"{self.bench}.{self.metric}: {self.current} is "
+            f"{abs(self.change_pct):.2f}% {arrow} baseline {self.baseline} "
+            f"(direction: {self.direction} is better)"
+        )
+
+
+def compare_payloads(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[Regression]:
+    """Gated metrics of ``current`` that regressed vs ``baseline``.
+
+    The *baseline* defines the gate: every baseline metric must exist in
+    the current payload (a vanished metric is a regression) and must not
+    have moved the wrong way by more than ``tolerance`` relative.  New
+    metrics in ``current`` are informational until they land in the
+    committed baseline.
+    """
+    regressions: List[Regression] = []
+    bench = baseline.get("bench", "?")
+    for name, entry in baseline["metrics"].items():
+        base_value = entry["value"]
+        direction = entry["direction"]
+        got = current["metrics"].get(name)
+        if got is None:
+            regressions.append(Regression(
+                bench=bench, metric=name, baseline=base_value,
+                current=float("nan"), direction=direction,
+            ))
+            continue
+        value = got["value"]
+        if direction == "lower":
+            bad = value > base_value * (1.0 + tolerance)
+        else:
+            bad = value < base_value * (1.0 - tolerance)
+        if bad:
+            regressions.append(Regression(
+                bench=bench, metric=name, baseline=base_value,
+                current=value, direction=direction,
+            ))
+    return regressions
+
+
+def run_gate(
+    which: Tuple[str, ...],
+    baseline_dir: Optional[str],
+    out_dir: Optional[str] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[Dict[str, Any]], List[Regression]]:
+    """Measure the requested benches and gate them against baselines.
+
+    Returns ``(payloads, regressions)``.  Baselines are looked up as
+    ``<baseline_dir>/BENCH_<which>.json``; a missing or malformed
+    baseline file raises (usage error), it does not silently pass.
+    """
+    payloads: List[Dict[str, Any]] = []
+    regressions: List[Regression] = []
+    for name in which:
+        payload = build_payload(name)
+        payloads.append(payload)
+        if out_dir:
+            write_payload(payload, out_dir)
+        if baseline_dir is not None:
+            baseline_path = os.path.join(
+                baseline_dir, payload_filename(name)
+            )
+            baseline = load_payload(baseline_path)
+            regressions.extend(
+                compare_payloads(payload, baseline, tolerance)
+            )
+    return payloads, regressions

@@ -384,6 +384,49 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.bench.perf import BENCH_NAMES, run_gate
+
+    if args.tolerance < 0:
+        raise CliUsageError(
+            f"--tolerance must be >= 0, got {args.tolerance}"
+        )
+    which = BENCH_NAMES if args.which == "all" else (args.which,)
+    if args.baseline is not None and not os.path.isdir(args.baseline):
+        raise CliUsageError(
+            f"--baseline directory does not exist: {args.baseline!r}"
+        )
+    try:
+        payloads, regressions = run_gate(
+            which,
+            baseline_dir=args.baseline,
+            out_dir=args.out,
+            tolerance=args.tolerance,
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        raise CliUsageError(str(exc)) from None
+    if args.json:
+        combined = {p["bench"]: p for p in payloads}
+        print(json.dumps(combined, indent=2, sort_keys=True))
+    else:
+        for payload in payloads:
+            print(f"[{payload['bench']}]")
+            for name, entry in sorted(payload["metrics"].items()):
+                print(f"  {name} = {entry['value']} "
+                      f"({entry['direction']} is better)")
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION: {regression.describe()}", file=sys.stderr)
+        return 1
+    if args.baseline is not None:
+        print(f"perf gate passed ({len(which)} bench(es), "
+              f"tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.staticcheck import render_json, render_text, run_check
 
@@ -480,6 +523,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the full campaign report as JSON")
 
     p = sub.add_parser(
+        "bench",
+        help="perf trajectory: measure BENCH_*.json payloads and gate "
+             "against committed baselines",
+    )
+    p.add_argument("--which", choices=["table9", "serve", "ldc", "all"],
+                   default="all",
+                   help="which bench payload(s) to measure (default all)")
+    p.add_argument("--json", action="store_true",
+                   help="print the payload(s) as JSON")
+    p.add_argument("--out",
+                   help="write BENCH_<which>.json file(s) into this directory")
+    p.add_argument("--baseline",
+                   help="directory holding baseline BENCH_*.json files; "
+                        "exit 1 on >tolerance regression")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="relative regression tolerance (default 0.05)")
+
+    p = sub.add_parser(
         "check",
         help="static partition linter over host-program source",
     )
@@ -501,6 +562,7 @@ _HANDLERS = {
     "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
+    "bench": _cmd_bench,
     "check": _cmd_check,
 }
 

@@ -150,12 +150,16 @@ class AgentProcess:
         filter_spec: Optional[FilterSpec] = None,
         restrict_syscalls: bool = True,
         max_restarts: Optional[int] = None,
+        zero_copy: bool = False,
     ) -> None:
         self.kernel = kernel
         self.partition = partition
         self.filter_spec = filter_spec
         self.restrict_syscalls = restrict_syscalls
         self.max_restarts = max_restarts
+        #: Dereference large ObjectRefs by remapping shared pages instead
+        #: of copying bytes (zero-copy LDC); small payloads still copy.
+        self.zero_copy = zero_copy
         self.stats = AgentStats()
         self.sequence = SequenceTracker()
         self._checkpoint: Dict[str, int] = {}
@@ -476,6 +480,7 @@ class AgentProcess:
             origin_state=state_label,
             lazy=True,
             count_message=False,
+            zero_copy=self.zero_copy,
         )
         self._resident[key] = payload
         return payload

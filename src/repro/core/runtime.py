@@ -86,6 +86,10 @@ class FreePartConfig:
     """
 
     ldc: bool = True
+    #: Zero-copy LDC: dereference large payloads by remapping shared
+    #: pages (with COW downgrade on first write) instead of copying
+    #: bytes.  Disable to reproduce the byte-copy LDC numbers.
+    zero_copy: bool = True
     restart_agents: bool = True
     enforce_permissions: bool = True
     restrict_syscalls: bool = True
@@ -117,6 +121,29 @@ class FreePartConfig:
     #: clock, so enabling it changes no reproduced number; disabled (the
     #: default) the no-op tracer costs hot paths a single flag check.
     trace: bool = False
+
+
+@dataclass
+class DispatchStats:
+    """Per-gateway dispatch-cache counters.
+
+    The cache keys on call site (framework, API name) and holds the
+    resolved API plus its categorization entry; the whole cache is
+    dropped whenever the framework state machine transitions, so a
+    stale entry can never route around the freezing semantics.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    #: Epoch changes (state-machine transitions) that flushed the cache.
+    invalidations: int = 0
+    #: Frame templates (re)built — once per agent, again after restart.
+    frame_rebuilds: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 @dataclass
@@ -171,6 +198,7 @@ def build_agents(
             filter_spec=filter_specs.get(partition.index),
             restrict_syscalls=config.restrict_syscalls,
             max_restarts=config.max_restarts_per_agent,
+            zero_copy=config.zero_copy,
         )
         for partition in plan.partitions
     }
@@ -207,6 +235,16 @@ class FreePartGateway(ApiGateway):
         self.last_crash_partition: Optional[str] = None
         self.host_store = ObjectStore(host)
         self._host_refs: Dict[int, ObjectRef] = {}
+        self.dispatch_stats = DispatchStats()
+        #: Call-site dispatch cache: (framework, name) -> (api, entry).
+        #: Flushed whenever the state machine's transition count moves.
+        self._dispatch_cache: Dict[Tuple[str, str], Tuple[Any, Any]] = {}
+        self._dispatch_epoch = 0
+        #: Prebuilt RPC frame templates: partition index -> the process
+        #: generation the template was built against.  A send is "framed"
+        #: (cheaper fixed cost) only while the template matches the live
+        #: process; restarts bump the generation and force a rebuild.
+        self._frame_templates: Dict[int, int] = {}
         self._annotations = {a.tag: a for a in config.annotations}
         #: Agents may be injected (leased from a serving pool) instead of
         #: spawned per gateway; the gateway then shares, not owns, them.
@@ -260,10 +298,33 @@ class FreePartGateway(ApiGateway):
     # ------------------------------------------------------------------
 
     def _route(self, framework: str, name: str):
-        """Resolve an API, advance the state machine, pick its partition."""
-        api = self._resolve_api(framework, name)
+        """Resolve an API, advance the state machine, pick its partition.
+
+        Steady-state calls hit the per-call-site dispatch cache and skip
+        re-resolution and re-categorization.  The cache is epoch-guarded
+        by the state machine's transition count: any transition flushes
+        it, so routing after a phase change always re-derives from live
+        state — and non-neutral APIs drive ``observe_call`` on *every*
+        dispatch, cached or not, so temporal freezing (and the
+        frozen-write SIGSEGV it arms) can never be bypassed by a hit.
+        """
+        epoch = self.machine.transition_count()
+        if epoch != self._dispatch_epoch:
+            if self._dispatch_cache:
+                self._dispatch_cache.clear()
+                self.dispatch_stats.invalidations += 1
+            self._dispatch_epoch = epoch
+        key = (framework, name)
+        cached = self._dispatch_cache.get(key)
+        if cached is not None:
+            self.dispatch_stats.hits += 1
+            api, entry = cached
+        else:
+            self.dispatch_stats.misses += 1
+            api = self._resolve_api(framework, name)
+            entry = self.categorization.get(api.spec.qualname)
+            self._dispatch_cache[key] = (api, entry)
         spec = api.spec
-        entry = self.categorization.get(spec.qualname)
 
         if entry.neutral:
             # Type-neutral APIs run in the agent of the current state.
@@ -283,6 +344,23 @@ class FreePartGateway(ApiGateway):
             qualname=spec.qualname, api_type=effective_type,
         ))
         return api, partition
+
+    def _frame_ready(self, agent: AgentProcess) -> bool:
+        """Whether a prebuilt frame template covers this agent right now.
+
+        The first send to an agent pays full framing cost while the
+        template is built; subsequent sends are "framed" (discounted
+        fixed cost).  A restarted agent has a new process generation, so
+        its template is rebuilt — the stale template can never frame a
+        message for a process it was not built against.
+        """
+        index = agent.partition.index
+        generation = agent.process.generation
+        if self._frame_templates.get(index) == generation:
+            return True
+        self._frame_templates[index] = generation
+        self.dispatch_stats.frame_rebuilds += 1
+        return False
 
     def _ensure_agent(self, partition) -> AgentProcess:
         """The partition's agent, restarted first if it crashed."""
@@ -333,7 +411,10 @@ class FreePartGateway(ApiGateway):
         crash_retries = 0
         while True:
             try:
-                response = self._rpc_roundtrip(agent, request, execute)
+                response = self._rpc_roundtrip(
+                    agent, request, execute,
+                    framed=self._frame_ready(agent),
+                )
             except (ProcessCrashed, SyscallDenied, SegmentationFault) as exc:
                 self._handle_agent_crash(agent, spec.qualname, exc)
                 if crash_retries < self.config.rpc_retries and agent.alive:
@@ -352,7 +433,8 @@ class FreePartGateway(ApiGateway):
     # ------------------------------------------------------------------
 
     def _send_with_backoff(
-        self, channel, sender_pid: int, kind: str, payload: Any
+        self, channel, sender_pid: int, kind: str, payload: Any,
+        framed: bool = False,
     ):
         """Send, retrying transient fullness with exponential backoff.
 
@@ -365,7 +447,7 @@ class FreePartGateway(ApiGateway):
         attempt = 0
         while True:
             try:
-                return channel.send(sender_pid, kind, payload)
+                return channel.send(sender_pid, kind, payload, framed=framed)
             except ChannelFull as exc:
                 if exc.permanent or attempt >= SEND_BACKOFF_RETRIES:
                     raise
@@ -390,6 +472,7 @@ class FreePartGateway(ApiGateway):
         execute,
         request_kind: str = "request",
         response_kind: str = "response",
+        framed: bool = False,
     ) -> Any:
         """One at-least-once request/response exchange over the agent's
         ring buffers.
@@ -413,7 +496,8 @@ class FreePartGateway(ApiGateway):
             while channel.response.pending:
                 channel.response.receive()
             self._send_with_backoff(
-                channel.request, self.host.pid, request_kind, payload
+                channel.request, self.host.pid, request_kind, payload,
+                framed=framed,
             )
             if not channel.request.pending:
                 # Request lost in flight: retransmit.
@@ -432,7 +516,8 @@ class FreePartGateway(ApiGateway):
                 # the reply cache makes re-execution a cache hit.
                 response = execute()
             self._send_with_backoff(
-                channel.response, agent.process.pid, response_kind, response
+                channel.response, agent.process.pid, response_kind, response,
+                framed=framed,
             )
             if not channel.response.pending:
                 # Reply lost in flight: retransmit the request; the
@@ -655,18 +740,24 @@ class RunReport:
     crashes: int
     restarts: int
     processes: int
+    zero_copy_transfers: int = 0
+    zero_copy_bytes: int = 0
+    cow_downgrades: int = 0
+    cow_bytes: int = 0
+    framed_messages: int = 0
     failed: bool = False
     error: str = ""
     result: Any = None
 
     @property
     def data_transferred_bytes(self) -> int:
-        return self.ipc_bytes + self.lazy_copy_bytes
+        return self.ipc_bytes + self.lazy_copy_bytes + self.zero_copy_bytes
 
     @property
     def lazy_fraction(self) -> float:
-        total = self.lazy_copies + self.nonlazy_copies
-        return self.lazy_copies / total if total else 0.0
+        lazy = self.lazy_copies + self.zero_copy_transfers
+        total = lazy + self.nonlazy_copies
+        return lazy / total if total else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable view (the ``result`` payload is dropped)."""
@@ -680,6 +771,11 @@ class RunReport:
             "lazy_copy_bytes": self.lazy_copy_bytes,
             "nonlazy_copies": self.nonlazy_copies,
             "nonlazy_copy_bytes": self.nonlazy_copy_bytes,
+            "zero_copy_transfers": self.zero_copy_transfers,
+            "zero_copy_bytes": self.zero_copy_bytes,
+            "cow_downgrades": self.cow_downgrades,
+            "cow_bytes": self.cow_bytes,
+            "framed_messages": self.framed_messages,
             "data_transferred_bytes": self.data_transferred_bytes,
             "lazy_fraction": self.lazy_fraction,
             "api_calls": self.api_calls,

@@ -103,14 +103,20 @@ class BatchingStats:
     messages_sent: int = 0
     #: PREV chains resolved inside an agent (zero-IPC intermediates).
     chains_local: int = 0
+    #: Envelope bytes the fused batch framing (one offset table + reduced
+    #: per-item headers) saved vs per-message envelopes.
+    fused_bytes_saved: int = 0
 
     @property
     def messages_saved(self) -> int:
         return self.messages_unbatched - self.messages_sent
 
-    def record_group(self, group_len: int, chains: int) -> None:
+    def record_group(
+        self, group_len: int, chains: int, fused_bytes_saved: int = 0
+    ) -> None:
         self.calls += group_len
         self.batches += 1
         self.messages_unbatched += 2 * group_len
         self.messages_sent += 2
         self.chains_local += chains
+        self.fused_bytes_saved += fused_bytes_saved

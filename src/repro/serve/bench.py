@@ -100,6 +100,9 @@ def run_serving_benchmark(
                 "ipc_messages_saved": stats["batching_stats"][
                     "messages_saved"
                 ],
+                "fused_bytes_saved": stats["batching_stats"][
+                    "fused_bytes_saved"
+                ],
             })
 
     return {

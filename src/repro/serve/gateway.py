@@ -232,13 +232,17 @@ class ServeGateway(FreePartGateway):
                 agent, batch, execute,
                 request_kind="batch-request",
                 response_kind="batch-response",
+                framed=self._frame_ready(agent),
             )
         except (ProcessCrashed, SyscallDenied, SegmentationFault) as exc:
             label = f"{group_apis[0].spec.qualname} (batch of {len(group)})"
             self._handle_agent_crash(agent, label, exc)
             raise FrameworkCrash(label, exc) from exc
         self._maybe_end_init(agent)
-        self.batch_stats.record_group(len(group), chains)
+        self.batch_stats.record_group(
+            len(group), chains,
+            fused_bytes_saved=batch.fused_savings + response.fused_savings,
+        )
 
         for offset, item in enumerate(response.responses):
             index = group.start + offset

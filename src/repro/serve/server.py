@@ -440,6 +440,7 @@ class PipelineServer:
                 "batches": self.batch_stats.batches,
                 "messages_saved": self.batch_stats.messages_saved,
                 "chains_local": self.batch_stats.chains_local,
+                "fused_bytes_saved": self.batch_stats.fused_bytes_saved,
             },
             "tenant_refs_minted": self.registry.minted,
             "isolation_checks": self.registry.checks,

@@ -32,9 +32,17 @@ class CostModel:
     syscall_ns: int = 700
     syscall_filter_check_ns: int = 40
     ipc_message_ns: int = 5_200
+    #: Per-message cost when the sender reuses a prebuilt RPC frame
+    #: template (cached gateway dispatch): header layout, channel
+    #: selection, and framing metadata are precomputed, so only the
+    #: enqueue + futex wake remain.
+    ipc_framed_message_ns: int = 4_200
     copy_ns_per_byte: float = 0.5
     serialize_ns_per_byte: float = 0.08
     mprotect_ns: int = 1_200
+    #: Remapping one page into another address space (zero-copy LDC):
+    #: a page-table entry update instead of a byte copy.
+    page_remap_ns: int = 250
     process_spawn_ns: int = 2_500_000
     process_restart_ns: int = 3_500_000
     page_fault_ns: int = 900
@@ -47,6 +55,14 @@ class CostModel:
     def serialize_cost(self, nbytes: int) -> int:
         """Cost of serializing ``nbytes`` into an IPC message."""
         return int(self.serialize_ns_per_byte * nbytes)
+
+    def message_cost(self, framed: bool) -> int:
+        """Fixed per-message cost, discounted for template-framed sends."""
+        return self.ipc_framed_message_ns if framed else self.ipc_message_ns
+
+    def remap_cost(self, npages: int) -> int:
+        """Cost of remapping ``npages`` shared pages (zero-copy transfer)."""
+        return int(self.page_remap_ns * npages)
 
 
 @dataclass

@@ -47,29 +47,54 @@ class IpcAccounting:
 
     messages: int = 0
     message_bytes: int = 0
+    #: Messages sent with a prebuilt frame template (cached dispatch).
+    framed_messages: int = 0
     lazy_copies: int = 0
     lazy_copy_bytes: int = 0
     nonlazy_copies: int = 0
     nonlazy_copy_bytes: int = 0
+    #: Transfers that moved page mappings instead of bytes (zero-copy
+    #: LDC) and the payload bytes they made visible without copying.
+    zero_copy_transfers: int = 0
+    zero_copy_bytes: int = 0
+    #: Copy-on-write downgrades of shared-segment mappings: the byte
+    #: copy a zero-copy transfer deferred, paid on first write.
+    cow_downgrades: int = 0
+    cow_bytes: int = 0
 
     @property
     def total_copies(self) -> int:
-        return self.lazy_copies + self.nonlazy_copies
+        """Cross-address-space data movements (copied or remapped)."""
+        return self.lazy_copies + self.nonlazy_copies + self.zero_copy_transfers
 
     @property
     def total_copy_bytes(self) -> int:
-        return self.lazy_copy_bytes + self.nonlazy_copy_bytes
+        """Bytes made visible across address spaces.
+
+        The zero-copy lane counts here — those bytes *moved* between
+        processes even though no byte copy happened — so the total still
+        reconciles exactly with end-to-end bytes transferred.
+        """
+        return (
+            self.lazy_copy_bytes
+            + self.nonlazy_copy_bytes
+            + self.zero_copy_bytes
+        )
 
     @property
     def lazy_fraction(self) -> float:
+        """Fraction of movements on the lazy path (zero-copy included:
+        a remapped transfer is a lazy dereference that got cheaper)."""
         total = self.total_copies
         if total == 0:
             return 0.0
-        return self.lazy_copies / total
+        return (self.lazy_copies + self.zero_copy_transfers) / total
 
-    def record_message(self, nbytes: int) -> None:
+    def record_message(self, nbytes: int, framed: bool = False) -> None:
         self.messages += 1
         self.message_bytes += nbytes
+        if framed:
+            self.framed_messages += 1
 
     def record_copy(self, nbytes: int, lazy: bool) -> None:
         if lazy:
@@ -79,24 +104,44 @@ class IpcAccounting:
             self.nonlazy_copies += 1
             self.nonlazy_copy_bytes += nbytes
 
+    def record_zero_copy(self, nbytes: int) -> None:
+        self.zero_copy_transfers += 1
+        self.zero_copy_bytes += nbytes
+
+    def record_cow(self, nbytes: int) -> None:
+        self.cow_downgrades += 1
+        self.cow_bytes += nbytes
+
     def snapshot(self) -> "IpcAccounting":
         return IpcAccounting(
             messages=self.messages,
             message_bytes=self.message_bytes,
+            framed_messages=self.framed_messages,
             lazy_copies=self.lazy_copies,
             lazy_copy_bytes=self.lazy_copy_bytes,
             nonlazy_copies=self.nonlazy_copies,
             nonlazy_copy_bytes=self.nonlazy_copy_bytes,
+            zero_copy_transfers=self.zero_copy_transfers,
+            zero_copy_bytes=self.zero_copy_bytes,
+            cow_downgrades=self.cow_downgrades,
+            cow_bytes=self.cow_bytes,
         )
 
     def delta_since(self, earlier: "IpcAccounting") -> "IpcAccounting":
         return IpcAccounting(
             messages=self.messages - earlier.messages,
             message_bytes=self.message_bytes - earlier.message_bytes,
+            framed_messages=self.framed_messages - earlier.framed_messages,
             lazy_copies=self.lazy_copies - earlier.lazy_copies,
             lazy_copy_bytes=self.lazy_copy_bytes - earlier.lazy_copy_bytes,
             nonlazy_copies=self.nonlazy_copies - earlier.nonlazy_copies,
             nonlazy_copy_bytes=self.nonlazy_copy_bytes - earlier.nonlazy_copy_bytes,
+            zero_copy_transfers=(
+                self.zero_copy_transfers - earlier.zero_copy_transfers
+            ),
+            zero_copy_bytes=self.zero_copy_bytes - earlier.zero_copy_bytes,
+            cow_downgrades=self.cow_downgrades - earlier.cow_downgrades,
+            cow_bytes=self.cow_bytes - earlier.cow_bytes,
         )
 
 
@@ -146,8 +191,16 @@ class Channel:
         """Whether a message of ``nbytes`` fits in the free space right now."""
         return self._queued_bytes + nbytes <= self.capacity_bytes
 
-    def send(self, sender_pid: int, kind: str, payload: Any) -> Message:
+    def send(
+        self, sender_pid: int, kind: str, payload: Any, framed: bool = False
+    ) -> Message:
         """Frame and enqueue a message, charging virtual time.
+
+        ``framed=True`` means the sender reused a prebuilt RPC frame
+        template (cached gateway dispatch): header layout and framing
+        metadata were precomputed, so the fixed per-message cost drops
+        to ``ipc_framed_message_ns``.  Byte accounting is unchanged —
+        the template saves framing *work*, not wire bytes.
 
         Raises :class:`ChannelFull` in two distinct situations that
         backpressure loops must tell apart: a message *larger than the
@@ -214,23 +267,25 @@ class Channel:
         self.sent_messages += 1
         self.sent_bytes += nbytes
         cost = self._clock.cost_model
+        message_ns = cost.message_cost(framed)
         tracer = self.tracer
         if tracer.enabled:
             # Split the single charge so the rollup separates message
             # framing (ipc) from payload serialization; the sum is
             # identical to the untraced advance.
             with tracer.span("ipc_send", category="ipc", pid=sender_pid,
-                             channel=self.name, kind=kind, bytes=nbytes):
-                self._clock.advance(cost.ipc_message_ns)
+                             channel=self.name, kind=kind, bytes=nbytes,
+                             framed=framed):
+                self._clock.advance(message_ns)
             with tracer.span("serialize", category="serialize",
                              pid=sender_pid, channel=self.name, kind=kind,
                              bytes=nbytes):
                 self._clock.advance(cost.serialize_cost(nbytes))
         else:
             self._clock.advance(
-                cost.ipc_message_ns + cost.serialize_cost(nbytes)
+                message_ns + cost.serialize_cost(nbytes)
             )
-        self._accounting.record_message(nbytes)
+        self._accounting.record_message(nbytes, framed=framed)
         return message
 
     def receive(self) -> Message:

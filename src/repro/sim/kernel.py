@@ -31,8 +31,18 @@ from repro.sim.files import SimFileSystem
 from repro.sim.filters import FilterSpec, SyscallFilter
 from repro.sim.gui import GuiSubsystem
 from repro.sim.ipc import ChannelPair, IpcAccounting
-from repro.sim.memory import Buffer, payload_nbytes
+from repro.sim.memory import (
+    PAGE_SIZE,
+    Buffer,
+    SharedSegment,
+    payload_nbytes,
+)
 from repro.sim.process import ProcessState, SimProcess
+
+#: Smallest payload worth remapping instead of copying (4 pages): below
+#: this the page-table updates cost more than the byte copy they avoid,
+#: so small transfers always take the copy path regardless of the flag.
+ZERO_COPY_MIN_BYTES = 4 * PAGE_SIZE
 
 
 class SimKernel:
@@ -57,6 +67,7 @@ class SimKernel:
         self.gui = GuiSubsystem()
         self.ipc = IpcAccounting()
         self._pids = itertools.count(100)
+        self._segment_ids = itertools.count(1)
         self._processes: Dict[int, SimProcess] = {}
         self._channels: Dict[str, ChannelPair] = {}
         self.spawned_processes = 0
@@ -128,6 +139,7 @@ class SimKernel:
             syscall_filter=syscall_filter, role=role,
             tracer=self.tracer,
         )
+        process.memory.accounting = self.ipc
         self._processes[pid] = process
         self.spawned_processes += 1
         tracer = self.tracer
@@ -236,6 +248,7 @@ class SimKernel:
         origin_state: str = "initialization",
         lazy: bool = False,
         count_message: bool = True,
+        zero_copy: bool = False,
     ) -> Buffer:
         """Copy a payload into ``destination``'s address space.
 
@@ -245,12 +258,49 @@ class SimKernel:
         per-byte copy cost; pass ``count_message=False`` when the payload
         already rode in an accounted IPC message (the RPC layer does this
         to avoid double-counting message traffic).
+
+        ``zero_copy=True`` asks for the remap path: payloads of at least
+        :data:`ZERO_COPY_MIN_BYTES` cross as a shared-page segment —
+        page-table updates charged per page instead of a per-byte copy —
+        and the destination's first write to a frozen-eligible mapping
+        pays the deferred copy (COW downgrade in
+        :class:`~repro.sim.memory.AddressSpace`).  Smaller payloads fall
+        back to the copy path silently.
         """
         source.require_alive()
         destination.require_alive()
         nbytes = payload_nbytes(payload)
         cost = self.clock.cost_model
         tracer = self.tracer
+        if zero_copy and nbytes >= ZERO_COPY_MIN_BYTES:
+            segment = SharedSegment(
+                segment_id=next(self._segment_ids),
+                nbytes=nbytes,
+                payload=payload,
+            )
+            remap_ns = cost.remap_cost(segment.npages)
+            if tracer.enabled:
+                if count_message:
+                    with tracer.span("ipc_message", category="ipc",
+                                     pid=destination.pid, bytes=nbytes,
+                                     tag=tag):
+                        self.clock.advance(cost.ipc_message_ns)
+                        self.ipc.record_message(nbytes)
+                with tracer.span("page_remap", category="zero_copy",
+                                 pid=destination.pid, bytes=nbytes, tag=tag,
+                                 src=source.pid, pages=segment.npages,
+                                 segment=segment.segment_id):
+                    self.clock.advance(remap_ns)
+                    self.ipc.record_zero_copy(nbytes)
+            else:
+                if count_message:
+                    self.clock.advance(cost.ipc_message_ns)
+                    self.ipc.record_message(nbytes)
+                self.clock.advance(remap_ns)
+                self.ipc.record_zero_copy(nbytes)
+            return destination.memory.map_shared(
+                segment, tag=tag, origin_state=origin_state
+            )
         if tracer.enabled:
             if count_message:
                 with tracer.span("ipc_message", category="ipc",
@@ -274,8 +324,13 @@ class SimKernel:
 
     @property
     def data_transferred_bytes(self) -> int:
-        """Total bytes moved between processes (messages + direct copies)."""
-        return self.ipc.message_bytes + self.ipc.lazy_copy_bytes
+        """Total bytes moved between processes (messages + direct copies
+        + bytes made visible by zero-copy remaps)."""
+        return (
+            self.ipc.message_bytes
+            + self.ipc.lazy_copy_bytes
+            + self.ipc.zero_copy_bytes
+        )
 
     # ------------------------------------------------------------------
     # Reporting
@@ -293,4 +348,9 @@ class SimKernel:
             "ipc_bytes": self.ipc.message_bytes,
             "lazy_copies": self.ipc.lazy_copies,
             "nonlazy_copies": self.ipc.nonlazy_copies,
+            "zero_copy_transfers": self.ipc.zero_copy_transfers,
+            "zero_copy_bytes": self.ipc.zero_copy_bytes,
+            "cow_downgrades": self.ipc.cow_downgrades,
+            "cow_bytes": self.ipc.cow_bytes,
+            "framed_messages": self.ipc.framed_messages,
         }

@@ -58,6 +58,29 @@ def pages_spanned(address: int, size: int) -> range:
 
 
 @dataclass
+class SharedSegment:
+    """Pages shared between address spaces by a zero-copy transfer.
+
+    Instead of serializing a large payload through a channel, the kernel
+    can remap the owning process's pages into the destination — the
+    Polytope-style "move mappings, not bytes" crossing.  Every mapping
+    of the segment references the same payload; a write through any
+    mapping first triggers a copy-on-write downgrade (see
+    :meth:`AddressSpace.store`), so the sharing is never observable.
+    """
+
+    segment_id: int
+    nbytes: int
+    payload: Any = None
+    #: How many buffers currently map this segment.
+    mappings: int = 0
+
+    @property
+    def npages(self) -> int:
+        return (max(self.nbytes, 1) + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+@dataclass
 class Buffer:
     """A contiguous allocation holding one data object.
 
@@ -68,6 +91,10 @@ class Buffer:
     ``origin_state`` records the framework state during which the buffer
     was defined — FreePart's temporal permission enforcement flips every
     buffer of the *previous* state to read-only on a state transition.
+
+    ``segment`` marks a zero-copy mapping: the buffer's pages belong to
+    a :class:`SharedSegment` and the first write must pay the
+    copy-on-write downgrade before it lands.
     """
 
     buffer_id: int
@@ -78,6 +105,7 @@ class Buffer:
     payload: Any = None
     origin_state: str = "initialization"
     freed: bool = False
+    segment: Optional[SharedSegment] = None
 
     @property
     def end(self) -> int:
@@ -88,26 +116,70 @@ class Buffer:
         return self.address <= address < self.end
 
 
-def payload_nbytes(payload: Any) -> int:
-    """Best-effort simulated size of an arbitrary payload object."""
+#: Memoized sizes for payloads declared immutable by their sender
+#: (``payload_nbytes(..., frozen=True)``).  Keyed weakly so entries die
+#: with their payloads; non-weakref-able payloads are simply recomputed.
+_frozen_nbytes = None  # weakref.WeakKeyDictionary, populated lazily
+
+
+def payload_nbytes(payload: Any, frozen: bool = False) -> int:
+    """Best-effort simulated size of an arbitrary payload object.
+
+    ``frozen=True`` declares the payload immutable for the rest of its
+    life (RPC messages in flight, reply-cache entries, retransmit
+    payloads) and memoizes the computed size, so resending the same
+    message never re-walks its argument tree.
+    """
     if payload is None:
         return 0
+    if frozen:
+        cached = _frozen_size_of(payload)
+        if cached is not None:
+            return cached
     nbytes = getattr(payload, "nbytes", None)
     if nbytes is not None:
-        return int(nbytes)
-    if isinstance(payload, (bytes, bytearray, memoryview)):
-        return len(payload)
-    if isinstance(payload, str):
-        return len(payload.encode("utf-8"))
-    if isinstance(payload, (int, float, bool)):
-        return 8
-    if isinstance(payload, (list, tuple, set, frozenset)):
-        return 16 + sum(payload_nbytes(item) for item in payload)
-    if isinstance(payload, dict):
-        return 16 + sum(
-            payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items()
+        size = int(nbytes)
+    elif isinstance(payload, (bytes, bytearray, memoryview)):
+        size = len(payload)
+    elif isinstance(payload, str):
+        size = len(payload.encode("utf-8"))
+    elif isinstance(payload, (int, float, bool)):
+        size = 8
+    elif isinstance(payload, (list, tuple, set, frozenset)):
+        size = 16 + sum(payload_nbytes(item, frozen) for item in payload)
+    elif isinstance(payload, dict):
+        size = 16 + sum(
+            payload_nbytes(k, frozen) + payload_nbytes(v, frozen)
+            for k, v in payload.items()
         )
-    return 64
+    else:
+        size = 64
+    if frozen:
+        _memoize_frozen_size(payload, size)
+    return size
+
+
+def _frozen_cache() -> dict:
+    global _frozen_nbytes
+    if _frozen_nbytes is None:
+        import weakref
+
+        _frozen_nbytes = weakref.WeakKeyDictionary()
+    return _frozen_nbytes
+
+
+def _frozen_size_of(payload: Any) -> Optional[int]:
+    try:
+        return _frozen_cache().get(payload)
+    except TypeError:  # unhashable payload: not cacheable
+        return None
+
+
+def _memoize_frozen_size(payload: Any, size: int) -> None:
+    try:
+        _frozen_cache()[payload] = size
+    except TypeError:  # unhashable or non-weakref-able payload
+        pass
 
 
 class AddressSpace:
@@ -125,11 +197,17 @@ class AddressSpace:
             from repro.obs.tracer import NULL_TRACER
             tracer = NULL_TRACER
         self.tracer = tracer
+        #: Machine-wide IPC/copy accounting (installed by the kernel at
+        #: spawn time); copy-on-write downgrades report into it.
+        self.accounting: Optional[Any] = None
         self._next_address = _HEAP_BASE
         self._next_buffer_id = 1
         self._buffers: Dict[int, Buffer] = {}
         self._page_permissions: Dict[int, Permission] = {}
         self.mprotect_calls = 0
+        #: Copy-on-write downgrades performed on shared-segment buffers.
+        self.cow_downgrades = 0
+        self.cow_bytes = 0
         #: Write attempts the permission check denied (SIGSEGV delivered).
         self.write_denials = 0
         #: Writes that *completed* against a page lacking WRITE — an
@@ -186,11 +264,39 @@ class AddressSpace:
             origin_state=origin_state,
         )
 
+    def map_shared(
+        self,
+        segment: SharedSegment,
+        tag: str = "",
+        origin_state: str = "initialization",
+    ) -> Buffer:
+        """Map a shared segment's pages into this space (zero-copy).
+
+        The buffer references the segment's payload without a byte copy;
+        the caller (the kernel's transfer path) charges the page-remap
+        cost.  Pages are mapped read-write like a private allocation —
+        the first write through :meth:`store`/:meth:`raw_write` pays the
+        copy-on-write downgrade *after* the ordinary permission check,
+        so temporal freezing still faults before any COW happens.
+        """
+        buffer = self.alloc(
+            segment.nbytes,
+            tag=tag,
+            payload=segment.payload,
+            origin_state=origin_state,
+        )
+        buffer.segment = segment
+        segment.mappings += 1
+        return buffer
+
     def free(self, buffer_id: int) -> None:
         """Unmap a buffer; later accesses through it fault."""
         buffer = self.get_buffer(buffer_id)
         for page in pages_spanned(buffer.address, buffer.nbytes):
             self._page_permissions.pop(page, None)
+        if buffer.segment is not None:
+            buffer.segment.mappings -= 1
+            buffer.segment = None
         buffer.freed = True
         buffer.payload = None
         del self._buffers[buffer_id]
@@ -320,6 +426,7 @@ class AddressSpace:
         """
         buffer = self.get_buffer(buffer_id)
         self.check(buffer.address, buffer.nbytes, Permission.WRITE)
+        self._cow_downgrade(buffer)
         new_nbytes = max(payload_nbytes(payload), 1)
         old_pages = set(pages_spanned(buffer.address, buffer.nbytes))
         new_pages = set(pages_spanned(buffer.address, new_nbytes))
@@ -343,10 +450,40 @@ class AddressSpace:
         buffer = self.buffer_at(address)
         if buffer is None:
             raise SegmentationFault(self.pid, address, "write", "no buffer mapped")
+        self._cow_downgrade(buffer)
         if value is not None:
             buffer.payload = value
         self._audit_write(address, nbytes)
         return buffer
+
+    def _cow_downgrade(self, buffer: Buffer) -> None:
+        """First write to a shared-segment mapping: copy, then detach.
+
+        Runs strictly *after* the permission check — a frozen (read-only)
+        shared page still faults before any COW work happens, preserving
+        the temporal-freezing semantics the zero-copy path must not
+        weaken.  Charges the byte-copy cost the zero-copy transfer
+        deferred and downgrades the buffer to a private allocation.
+        """
+        segment = buffer.segment
+        if segment is None:
+            return
+        buffer.segment = None
+        segment.mappings -= 1
+        self.cow_downgrades += 1
+        self.cow_bytes += buffer.nbytes
+        if self.accounting is not None:
+            self.accounting.record_cow(buffer.nbytes)
+        if self.clock is not None:
+            cost = self.clock.cost_model.copy_cost(buffer.nbytes)
+            tracer = self.tracer
+            if tracer.enabled:
+                with tracer.span("cow_copy", category="zero_copy",
+                                 pid=self.pid, bytes=buffer.nbytes,
+                                 segment=segment.segment_id):
+                    self.clock.advance(cost)
+            else:
+                self.clock.advance(cost)
 
     def raw_read(self, address: int, nbytes: int) -> Any:
         """Read from a raw address, as info-leak payloads do."""

@@ -1,0 +1,66 @@
+"""Zero-copy spans in the mechanism rollup: exact partition, zero cost.
+
+Page remaps and COW downgrades emit ``zero_copy``-category spans; the
+rollup must still partition the end-to-end virtual time exactly, and the
+traced run must charge byte-for-byte what the untraced run charges.
+"""
+
+import numpy as np
+
+from repro.obs.export import mechanism_rollup
+from repro.sim.kernel import ZERO_COPY_MIN_BYTES, SimKernel
+from repro.sim.memory import Permission
+
+
+def scenario(traced):
+    kernel = SimKernel()
+    if traced:
+        kernel.enable_tracing()
+    src = kernel.spawn("src")
+    dst = kernel.spawn("dst")
+    payload = np.zeros(ZERO_COPY_MIN_BYTES // 8 * 2, dtype=np.float64)
+    buffer = kernel.transfer(src, dst, payload, zero_copy=True)
+    dst.memory.protect_buffer(buffer.buffer_id, Permission.ro())
+    dst.memory.protect_buffer(buffer.buffer_id, Permission.rw())
+    dst.memory.store(buffer.buffer_id, np.ones_like(payload))  # COW
+    kernel.transfer(src, dst, payload, zero_copy=True)
+    return kernel
+
+
+def test_rollup_partitions_time_with_zero_copy_spans():
+    kernel = scenario(traced=True)
+    total_ns = kernel.clock.now_ns
+    rows = mechanism_rollup(kernel.tracer, total_ns)
+    assert sum(r.self_ns for r in rows) == total_ns
+    assert all(r.self_ns >= 0 for r in rows)
+    by_category = {r.category: r.self_ns for r in rows}
+    assert {"spawn", "ipc", "mprotect", "zero_copy"} <= set(by_category)
+    cost = kernel.clock.cost_model
+    payload_bytes = ZERO_COPY_MIN_BYTES * 2
+    npages = payload_bytes // 4096
+    # zero_copy self-time = two page remaps + one COW downgrade, exactly.
+    assert by_category["zero_copy"] == (
+        2 * cost.remap_cost(npages) + cost.copy_cost(payload_bytes)
+    )
+
+
+def test_zero_copy_span_names_and_attrs():
+    kernel = scenario(traced=True)
+    spans = [
+        s for s in kernel.tracer.closed_spans()
+        if s.category == "zero_copy"
+    ]
+    names = sorted(s.name for s in spans)
+    assert names == ["cow_copy", "page_remap", "page_remap"]
+    remap = next(s for s in spans if s.name == "page_remap")
+    assert remap.attrs["pages"] == ZERO_COPY_MIN_BYTES * 2 // 4096
+    assert remap.attrs["bytes"] == ZERO_COPY_MIN_BYTES * 2
+    cow = next(s for s in spans if s.name == "cow_copy")
+    assert cow.attrs["segment"] == remap.attrs["segment"]
+
+
+def test_tracing_never_changes_the_charged_time():
+    assert (
+        scenario(traced=True).clock.now_ns
+        == scenario(traced=False).clock.now_ns
+    )

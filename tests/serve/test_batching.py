@@ -7,6 +7,10 @@ from repro.core.gateway import ApiCall
 from repro.core.rpc import (
     BATCH_HEADER_BYTES,
     BATCH_ITEM_FRAME_BYTES,
+    BATCH_OFFSET_ENTRY_BYTES,
+    FUSED_ITEM_HEADER_BYTES,
+    REQUEST_HEADER_BYTES,
+    RESPONSE_HEADER_BYTES,
     BatchChain,
     RpcBatchRequest,
     RpcBatchResponse,
@@ -71,15 +75,35 @@ def _request(seq, payload):
 
 
 def test_batch_request_bytes_are_exact():
+    # Fused framing: one envelope, an offset-table entry plus a reduced
+    # item header per request, payload bytes unchanged.
     first = _request(1, np.zeros(4))
     second = _request(2, np.zeros(8))
     batch = RpcBatchRequest(requests=(first, second))
     assert batch.nbytes == (
         BATCH_HEADER_BYTES
-        + 2 * BATCH_ITEM_FRAME_BYTES
-        + first.nbytes
-        + second.nbytes
+        + 2 * (BATCH_OFFSET_ENTRY_BYTES + FUSED_ITEM_HEADER_BYTES)
+        + (first.nbytes - REQUEST_HEADER_BYTES)
+        + (second.nbytes - REQUEST_HEADER_BYTES)
     )
+
+
+def test_batch_request_fused_savings_vs_envelopes():
+    # Savings vs the per-message-envelope framing: the old 16-byte item
+    # frame plus the full request header, minus what fusing still pays.
+    batch = RpcBatchRequest(
+        requests=(_request(1, np.zeros(4)), _request(2, np.zeros(8)))
+    )
+    per_item = (
+        BATCH_ITEM_FRAME_BYTES + REQUEST_HEADER_BYTES
+        - BATCH_OFFSET_ENTRY_BYTES - FUSED_ITEM_HEADER_BYTES
+    )
+    assert per_item > 0
+    assert batch.fused_savings == 2 * per_item
+    envelope_nbytes = BATCH_HEADER_BYTES + sum(
+        BATCH_ITEM_FRAME_BYTES + r.nbytes for r in batch.requests
+    )
+    assert envelope_nbytes - batch.nbytes == batch.fused_savings
 
 
 def test_batch_response_bytes_are_exact():
@@ -87,8 +111,12 @@ def test_batch_response_bytes_are_exact():
     batch = RpcBatchResponse(responses=responses)
     assert batch.nbytes == (
         BATCH_HEADER_BYTES
-        + 2 * BATCH_ITEM_FRAME_BYTES
-        + sum(r.nbytes for r in responses)
+        + 2 * (BATCH_OFFSET_ENTRY_BYTES + FUSED_ITEM_HEADER_BYTES)
+        + sum(r.nbytes - RESPONSE_HEADER_BYTES for r in responses)
+    )
+    assert batch.fused_savings == 2 * (
+        BATCH_ITEM_FRAME_BYTES + RESPONSE_HEADER_BYTES
+        - BATCH_OFFSET_ENTRY_BYTES - FUSED_ITEM_HEADER_BYTES
     )
 
 

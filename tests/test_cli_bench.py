@@ -1,0 +1,227 @@
+"""``repro bench``: payload schema, the regression gate, the exit contract.
+
+Exit codes are part of the CI contract: 0 = measured (and gate passed),
+1 = at least one gated metric regressed, 2 = usage error.  The serve
+bench is the cheapest to measure, so the end-to-end cases use it; gate
+logic itself is unit-tested on synthetic payloads.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    DEFAULT_TOLERANCE,
+    SCHEMA,
+    Regression,
+    build_payload,
+    compare_payloads,
+    load_payload,
+    payload_filename,
+    render_payload,
+    validate_payload,
+    write_payload,
+)
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def payload(bench="serve", **metrics):
+    if not metrics:
+        metrics = {"rps": (100.0, "higher"), "seconds": (2.0, "lower")}
+    return {
+        "schema": SCHEMA,
+        "bench": bench,
+        "metrics": {
+            name: {"value": value, "direction": direction}
+            for name, (value, direction) in metrics.items()
+        },
+        "details": {},
+    }
+
+
+class TestGateLogic:
+    def test_identical_payloads_pass(self):
+        assert compare_payloads(payload(), payload()) == []
+
+    def test_within_tolerance_passes(self):
+        current = payload(rps=(96.0, "higher"), seconds=(2.09, "lower"))
+        assert compare_payloads(current, payload()) == []
+
+    def test_lower_is_better_regression(self):
+        current = payload(rps=(100.0, "higher"), seconds=(2.5, "lower"))
+        found = compare_payloads(current, payload())
+        assert [r.metric for r in found] == ["seconds"]
+        assert found[0].direction == "lower"
+        assert "above baseline" in found[0].describe()
+
+    def test_higher_is_better_regression(self):
+        current = payload(rps=(80.0, "higher"), seconds=(2.0, "lower"))
+        found = compare_payloads(current, payload())
+        assert [r.metric for r in found] == ["rps"]
+        assert "below baseline" in found[0].describe()
+
+    def test_missing_metric_is_a_regression(self):
+        current = payload(rps=(100.0, "higher"))
+        found = compare_payloads(current, payload())
+        assert [r.metric for r in found] == ["seconds"]
+
+    def test_new_metrics_are_informational(self):
+        current = payload(
+            rps=(100.0, "higher"), seconds=(2.0, "lower"),
+            extra=(7.0, "higher"),
+        )
+        assert compare_payloads(current, payload()) == []
+
+    def test_improvements_never_fire_the_gate(self):
+        current = payload(rps=(900.0, "higher"), seconds=(0.1, "lower"))
+        assert compare_payloads(current, payload()) == []
+
+    def test_tolerance_is_relative(self):
+        base = payload(seconds=(10.0, "lower"), rps=(1.0, "higher"))
+        ok = payload(seconds=(10.9, "lower"), rps=(1.0, "higher"))
+        bad = payload(seconds=(11.1, "lower"), rps=(1.0, "higher"))
+        assert compare_payloads(ok, base, tolerance=0.1) == []
+        assert compare_payloads(bad, base, tolerance=0.1) != []
+
+    def test_change_pct_with_zero_baseline(self):
+        regression = Regression(
+            bench="serve", metric="rps", baseline=0.0,
+            current=1.0, direction="higher",
+        )
+        assert regression.change_pct == float("inf")
+
+
+class TestPayloadSchema:
+    def test_valid_payload_has_no_errors(self):
+        assert validate_payload(payload()) == []
+
+    def test_bad_payloads_are_rejected(self):
+        assert validate_payload([]) != []
+        assert validate_payload({"schema": "nope"}) != []
+        broken = payload()
+        broken["metrics"]["rps"]["direction"] = "sideways"
+        assert validate_payload(broken) != []
+        boolean = payload()
+        boolean["metrics"]["rps"]["value"] = True
+        assert validate_payload(boolean) != []
+        empty = payload()
+        empty["metrics"] = {}
+        assert validate_payload(empty) != []
+
+    def test_render_is_stable_and_newline_terminated(self):
+        rendered = render_payload(payload())
+        assert rendered == render_payload(json.loads(rendered))
+        assert rendered.endswith("\n")
+
+    def test_write_then_load_roundtrips(self, tmp_path):
+        path = write_payload(payload(), str(tmp_path))
+        assert path.endswith(payload_filename("serve"))
+        assert load_payload(path) == payload()
+
+    def test_load_rejects_malformed_baselines(self, tmp_path):
+        path = tmp_path / payload_filename("serve")
+        path.write_text('{"schema": "wrong"}')
+        with pytest.raises(ValueError):
+            load_payload(str(path))
+
+    def test_unknown_bench_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_payload("fig99")
+
+
+@pytest.fixture(scope="module")
+def serve_payload():
+    """One real measurement, shared by every end-to-end CLI case."""
+    return build_payload("serve")
+
+
+class TestExitContract:
+    def test_exit_0_measures_and_prints_metrics(self, capsys):
+        code, out, err = run_cli(capsys, "bench", "--which", "serve")
+        assert code == 0
+        assert "[serve]" in out
+        assert "pooled_requests_per_second" in out
+
+    def test_exit_0_json_output_is_parseable(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "bench", "--which", "serve", "--json",
+            "--out", str(tmp_path),
+        )
+        assert code == 0
+        combined = json.loads(out)
+        assert validate_payload(combined["serve"]) == []
+        written = load_payload(str(tmp_path / payload_filename("serve")))
+        assert written == combined["serve"]
+
+    def test_exit_0_when_gate_passes(self, capsys, tmp_path, serve_payload):
+        write_payload(serve_payload, str(tmp_path))
+        code, out, err = run_cli(
+            capsys, "bench", "--which", "serve",
+            "--baseline", str(tmp_path),
+        )
+        assert code == 0
+        assert "perf gate passed" in out
+        assert "REGRESSION" not in err
+
+    def test_exit_1_on_regression(self, capsys, tmp_path, serve_payload):
+        doctored = json.loads(json.dumps(serve_payload))
+        entry = doctored["metrics"]["pooled_requests_per_second"]
+        entry["value"] = entry["value"] * 100  # unreachably high bar
+        write_payload(doctored, str(tmp_path))
+        code, out, err = run_cli(
+            capsys, "bench", "--which", "serve",
+            "--baseline", str(tmp_path),
+        )
+        assert code == 1
+        assert "REGRESSION: serve.pooled_requests_per_second" in err
+        assert "perf gate passed" not in out
+
+    def test_exit_2_on_negative_tolerance(self, capsys):
+        code, _, err = run_cli(
+            capsys, "bench", "--which", "serve", "--tolerance", "-0.1",
+        )
+        assert code == 2
+        assert "--tolerance must be >= 0" in err
+
+    def test_exit_2_on_missing_baseline_dir(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "bench", "--which", "serve",
+            "--baseline", str(tmp_path / "nope"),
+        )
+        assert code == 2
+        assert "does not exist" in err
+
+    def test_exit_2_on_malformed_baseline_payload(self, capsys, tmp_path):
+        (tmp_path / payload_filename("serve")).write_text("not json")
+        code, _, err = run_cli(
+            capsys, "bench", "--which", "serve",
+            "--baseline", str(tmp_path),
+        )
+        assert code == 2
+
+    def test_exit_2_on_missing_baseline_file(self, capsys, tmp_path):
+        # The directory exists but has no BENCH_serve.json: a silent
+        # pass would defeat the gate, so it is a usage error.
+        code, _, err = run_cli(
+            capsys, "bench", "--which", "serve",
+            "--baseline", str(tmp_path),
+        )
+        assert code == 2
+
+    def test_unknown_which_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--which", "fig99"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_default_tolerance_matches_module_constant(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench"])
+        assert args.tolerance == DEFAULT_TOLERANCE
