@@ -82,8 +82,12 @@ def test_zero_copy_lane_reconciles():
     assert report.zero_copy_transfers > 0
     assert report.zero_copy_bytes > 0
     ipc = kernel.ipc
-    assert ipc.total_copy_bytes == (
-        ipc.lazy_copy_bytes + ipc.nonlazy_copy_bytes + ipc.zero_copy_bytes
+    # Raises AccountingError naming the off-by lane on a mismatch.
+    ipc.reconcile(
+        "table12 ldc accounting",
+        total_copy_bytes=(
+            ipc.lazy_copy_bytes + ipc.nonlazy_copy_bytes + ipc.zero_copy_bytes
+        ),
     )
     assert report.data_transferred_bytes == (
         report.ipc_bytes + report.lazy_copy_bytes + report.zero_copy_bytes

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 SCHEMA = "freepart-bench/v1"
-BENCH_NAMES = ("table9", "serve", "ldc")
+BENCH_NAMES = ("table9", "serve", "ldc", "cluster")
 DEFAULT_TOLERANCE = 0.05
 
 _DIRECTIONS = ("lower", "higher")
@@ -168,10 +168,56 @@ def bench_ldc() -> Dict[str, Any]:
     }
 
 
+def bench_cluster() -> Dict[str, Any]:
+    """Multi-node scaling, failure goodput, and cross-node locality.
+
+    ``cross_node_derefs`` gates at a 0 baseline with direction
+    ``lower``: the affinity placement keeps every LDC dereference
+    node-local, so *any* cross-node dereference creeping in trips the
+    gate regardless of tolerance.
+    """
+    from repro.cluster.bench import run_cluster_benchmark
+
+    result = run_cluster_benchmark(
+        nodes=4,
+        tenants=8,
+        requests_per_tenant=2,
+        pool_size=2,
+        partitioner="directory",
+        image_size=16,
+        failure=True,
+    )
+    multi = result["configs"][1]
+    chaos = result["configs"][2]
+    return {
+        "schema": SCHEMA,
+        "bench": "cluster",
+        "metrics": {
+            "scaling_vs_single_node": _metric(result["scaling"], "higher"),
+            "cluster_requests_per_second": _metric(
+                multi["requests_per_second"], "higher"
+            ),
+            "single_node_failure_goodput": _metric(
+                result["failure_goodput"], "higher"
+            ),
+            "cross_node_derefs": _metric(multi["cross_node_derefs"], "lower"),
+        },
+        "details": {
+            "workload": result["workload"],
+            "single_node_requests_per_second":
+                result["configs"][0]["requests_per_second"],
+            "failure_config": chaos["name"],
+            "failure_resubmissions": chaos["resubmissions"],
+            "failure_shards_replaced": chaos["shards_replaced"],
+        },
+    }
+
+
 _BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "table9": bench_table9,
     "serve": bench_serve,
     "ldc": bench_ldc,
+    "cluster": bench_cluster,
 }
 
 

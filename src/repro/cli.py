@@ -344,6 +344,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         raise CliUsageError(
             f"--fault-rate must be >= 0, got {args.fault_rate}"
         )
+    if args.nodes < 1:
+        raise CliUsageError(f"--nodes must be >= 1, got {args.nodes}")
     settings = ChaosSettings(
         target=args.target,
         seed=args.seed,
@@ -351,6 +353,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         fault_rate=args.fault_rate,
         items=args.items,
         image_size=args.image_size,
+        nodes=args.nodes,
     )
     try:
         report = run_campaign(settings)
@@ -382,6 +385,60 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                  f"digest {report.digest()[:16]}",
         ))
     return 0 if report.passed else 1
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.tables import render_table
+    from repro.cluster.bench import run_cluster_benchmark
+
+    for flag, value in (("--nodes", args.nodes),
+                        ("--tenants", args.tenants),
+                        ("--requests", args.requests),
+                        ("--pool-size", args.pool_size),
+                        ("--image-size", args.image_size)):
+        if value < 1:
+            raise CliUsageError(f"{flag} must be >= 1, got {value}")
+    try:
+        result = run_cluster_benchmark(
+            nodes=args.nodes,
+            tenants=args.tenants,
+            requests_per_tenant=args.requests,
+            pool_size=args.pool_size,
+            partitioner=args.partitioner,
+            image_size=args.image_size,
+            failure=not args.no_failure,
+        )
+    except ValueError as exc:
+        raise CliUsageError(str(exc)) from None
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            config["name"],
+            config["requests"],
+            config["ok"],
+            f"{config['goodput']:.3f}",
+            f"{config['requests_per_second']:.1f}",
+            config["node_failures"],
+            config["shards_replaced"],
+            config["cross_node_derefs"],
+        ]
+        for config in result["configs"]
+    ]
+    workload = result["workload"]
+    print(render_table(
+        f"Cluster scaling — {workload['partitioner']} partitioner, "
+        f"{workload['shards']} shards",
+        ["config", "requests", "ok", "goodput", "req/s",
+         "node failures", "shards re-placed", "x-node derefs"],
+        rows,
+        note=f"scaling {result['scaling']}x vs 1 node; "
+             f"manifest {workload['manifest_digest'][:16]}",
+    ))
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -510,7 +567,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded fault-injection campaign + recovery invariant checks",
     )
     p.add_argument("target",
-                   help="sample id, 'drone', 'serve-bench', or a CVE id")
+                   help="sample id, 'drone', 'serve-bench', 'cluster', or "
+                        "a CVE id")
     p.add_argument("--seed", type=int, default=0,
                    help="campaign seed (default 0)")
     p.add_argument("--campaign", type=int, default=20,
@@ -519,15 +577,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-decision fault probability (default 0.02)")
     p.add_argument("--items", type=int, default=2)
     p.add_argument("--image-size", type=int, default=16)
+    p.add_argument("--nodes", type=int, default=3,
+                   help="cluster width for the 'cluster' target "
+                        "(default 3; other targets ignore it)")
     p.add_argument("--json", action="store_true",
                    help="print the full campaign report as JSON")
+
+    p = sub.add_parser(
+        "cluster-bench",
+        help="multi-node scaling: sharded serving at N nodes vs one, "
+             "plus goodput under a node failure",
+    )
+    p.add_argument("--nodes", type=int, default=4,
+                   help="cluster width for the scaled config (default 4)")
+    p.add_argument("--tenants", type=int, default=8,
+                   help="concurrent tenants (default 8)")
+    p.add_argument("--requests", type=int, default=2,
+                   help="requests per tenant (default 2)")
+    p.add_argument("--pool-size", type=int, default=2,
+                   help="agents per API type per node (default 2)")
+    p.add_argument("--partitioner", default="directory",
+                   help="dataset partitioner: 'directory', 'object[:N]', "
+                        "or 'hash[:K]' (default directory)")
+    p.add_argument("--image-size", type=int, default=16)
+    p.add_argument("--no-failure", action="store_true",
+                   help="skip the scripted single-node-failure config")
+    p.add_argument("--json", action="store_true",
+                   help="print the full result as JSON")
 
     p = sub.add_parser(
         "bench",
         help="perf trajectory: measure BENCH_*.json payloads and gate "
              "against committed baselines",
     )
-    p.add_argument("--which", choices=["table9", "serve", "ldc", "all"],
+    p.add_argument("--which",
+                   choices=["table9", "serve", "ldc", "cluster", "all"],
                    default="all",
                    help="which bench payload(s) to measure (default all)")
     p.add_argument("--json", action="store_true",
@@ -562,6 +646,7 @@ _HANDLERS = {
     "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
+    "cluster-bench": _cmd_cluster_bench,
     "bench": _cmd_bench,
     "check": _cmd_check,
 }

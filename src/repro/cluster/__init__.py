@@ -1,0 +1,73 @@
+"""Multi-node simulated cluster: sharding, placement, serving, chaos.
+
+``repro.cluster`` lifts the reproduction from one
+:class:`~repro.sim.kernel.SimKernel` machine to a simulated cluster:
+
+* :mod:`~repro.cluster.kernel` — N nodes with independent virtual
+  clocks, costed inter-node links, and an ``inter_node`` accounting
+  lane that reconciles exactly (AccountingError on drift);
+* :mod:`~repro.cluster.sharding` — directory / object / hash / lambda
+  dataset partitioners and the deterministic shard manifest;
+* :mod:`~repro.cluster.placement` — partition-to-node assignment that
+  respects staticcheck-inferred affinity (co-located partitions keep
+  zero-copy LDC; split ones pay framed inter-node byte copies);
+* :mod:`~repro.cluster.gateway` — placement-aware pipeline dispatch
+  with the transparent cross-node LDC fallback;
+* :mod:`~repro.cluster.serve` — sticky per-tenant routing across nodes
+  plus node-failure recovery (shard re-placement, resubmission);
+* :mod:`~repro.cluster.trace` — merged Chrome traces (a row per node
+  process) and the cluster mechanism rollup;
+* :mod:`~repro.cluster.bench` — the scaling benchmark behind
+  ``repro cluster-bench`` and ``BENCH_cluster.json``.
+
+Everything is byte-identically deterministic from the virtual clocks.
+"""
+
+from repro.cluster.kernel import ClusterAccounting, ClusterKernel, ClusterNode
+from repro.cluster.placement import (
+    Placement,
+    affinity_groups,
+    affinity_placement,
+    check_placement,
+    inferred_affinity_groups,
+    placement_violations,
+    spread_placement,
+)
+from repro.cluster.sharding import (
+    DirectoryPartitioner,
+    HashPartitioner,
+    LambdaPartitioner,
+    ObjectPartitioner,
+    Partitioner,
+    Shard,
+    ShardManifest,
+    make_partitioner,
+    shard_dataset,
+    stable_hash,
+)
+from repro.cluster.topology import ClusterTopology, InterNodeLink
+
+__all__ = [
+    "ClusterAccounting",
+    "ClusterKernel",
+    "ClusterNode",
+    "ClusterTopology",
+    "DirectoryPartitioner",
+    "HashPartitioner",
+    "InterNodeLink",
+    "LambdaPartitioner",
+    "ObjectPartitioner",
+    "Partitioner",
+    "Placement",
+    "Shard",
+    "ShardManifest",
+    "affinity_groups",
+    "affinity_placement",
+    "check_placement",
+    "inferred_affinity_groups",
+    "make_partitioner",
+    "placement_violations",
+    "shard_dataset",
+    "spread_placement",
+    "stable_hash",
+]

@@ -1,0 +1,157 @@
+"""Partition-aware placement: which node runs which agent partition.
+
+A :class:`Placement` maps partition labels (``loading``, ``processing``,
+...) to node indices.  The policy input is *affinity*: partitions a host
+function uses together exchange object references, and a reference that
+crosses a node boundary cannot be remapped zero-copy — it falls back to
+a framed byte-copy over the wire.  :func:`affinity_groups` derives the
+must-co-locate sets from ``staticcheck``'s inferred per-function plans
+(:meth:`~repro.staticcheck.inference.FunctionReport.agents_used`), and
+:func:`check_placement` rejects any placement that splits a group,
+unless the caller explicitly opts into paying the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.core.partitioner import PartitionPlan
+from repro.errors import PlacementError
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An immutable partition-label -> node-index assignment."""
+
+    assignments: Tuple[Tuple[str, int], ...]
+
+    @classmethod
+    def of(cls, mapping: Dict[str, int]) -> "Placement":
+        return cls(tuple(sorted(mapping.items())))
+
+    def node_for(self, label: str) -> int:
+        for name, node in self.assignments:
+            if name == label:
+                return node
+        raise PlacementError(f"partition {label!r} is not placed")
+
+    def labels_on(self, node: int) -> List[str]:
+        return [name for name, where in self.assignments if where == node]
+
+    def nodes_used(self) -> List[int]:
+        return sorted({node for _, node in self.assignments})
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(self.assignments)
+
+
+def affinity_placement(plan: PartitionPlan, node: int = 0) -> Placement:
+    """Co-locate every partition on one node (zero cross-node derefs)."""
+    return Placement.of(
+        {partition.label: node for partition in plan.partitions}
+    )
+
+
+def spread_placement(plan: PartitionPlan, node_count: int) -> Placement:
+    """Round-robin partitions across nodes — deliberately ignores
+    affinity, the worst case the placement tests measure against."""
+    if node_count < 1:
+        raise PlacementError(f"node count must be >= 1, got {node_count}")
+    return Placement.of({
+        partition.label: partition.index % node_count
+        for partition in plan.partitions
+    })
+
+
+def affinity_groups(
+    reports: Iterable,
+) -> List[FrozenSet[str]]:
+    """Must-co-locate partition sets from staticcheck function reports.
+
+    Each function's :meth:`agents_used` set is one co-location
+    constraint (its call chain passes references between exactly those
+    agents); overlapping constraints merge transitively (union-find).
+    Returns deterministically sorted frozensets.
+    """
+    parent: Dict[str, str] = {}
+
+    def find(label: str) -> str:
+        parent.setdefault(label, label)
+        while parent[label] != label:
+            parent[label] = parent[parent[label]]
+            label = parent[label]
+        return label
+
+    def union(a: str, b: str) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            # Deterministic representative: the lexicographically least.
+            low, high = sorted((root_a, root_b))
+            parent[high] = low
+
+    for report in reports:
+        used = sorted(report.agents_used())
+        for label in used[1:]:
+            union(used[0], label)
+        for label in used[:1]:
+            find(label)
+
+    groups: Dict[str, List[str]] = {}
+    for label in parent:
+        groups.setdefault(find(label), []).append(label)
+    return sorted(
+        (frozenset(members) for members in groups.values()),
+        key=lambda group: sorted(group),
+    )
+
+
+def inferred_affinity_groups(paths: Sequence[str]) -> List[FrozenSet[str]]:
+    """Affinity groups inferred from real host-program sources.
+
+    Runs the staticcheck callgraph builder + partition inferencer over
+    each file and merges every function's agent set — the bridge from
+    "what the lint sees" to "what placement must respect".
+    """
+    from repro.staticcheck.callgraph import build_module
+    from repro.staticcheck.inference import PartitionInferencer
+
+    reports = []
+    for path in paths:
+        summary = build_module(path)
+        reports.extend(PartitionInferencer(summary).infer().values())
+    return affinity_groups(reports)
+
+
+def placement_violations(
+    placement: Placement, groups: Iterable[FrozenSet[str]]
+) -> List[str]:
+    """Human-readable description of every split affinity group."""
+    violations = []
+    for group in groups:
+        placed = sorted(
+            label for label in group
+            if any(name == label for name, _ in placement.assignments)
+        )
+        if len(placed) < 2:
+            continue
+        nodes = sorted({placement.node_for(label) for label in placed})
+        if len(nodes) > 1:
+            violations.append(
+                f"affinity group {{{', '.join(sorted(group))}}} is split "
+                f"across nodes {nodes} — every LDC deref between them "
+                "becomes a framed inter-node byte copy"
+            )
+    return violations
+
+
+def check_placement(
+    placement: Placement,
+    groups: Iterable[FrozenSet[str]],
+    allow_split: bool = False,
+) -> None:
+    """Raise :class:`~repro.errors.PlacementError` on split affinity
+    groups (unless the caller opted into paying the wire)."""
+    violations = placement_violations(placement, groups)
+    if violations and not allow_split:
+        raise PlacementError("; ".join(violations))

@@ -1,0 +1,125 @@
+"""Cluster-wide observability: merged traces and the cross-node lane.
+
+Every node traces independently against its own virtual clock; this
+module merges the per-node views into cluster artifacts:
+
+* :func:`cluster_chrome_trace` — one Chrome trace with a *row per node
+  process* (pids are namespaced by node so node 0's pid 104 and node
+  2's pid 104 stay distinct rows, track names get a ``nodeK:`` prefix);
+* :func:`cluster_rollup` — the mechanism self-time table summed across
+  nodes, which is where the ``inter_node`` lane (send + receive spans
+  of cross-node transfers) shows up next to ipc/copy/compute.
+
+Both are deterministic: merged events sort by ``(timestamp, node,
+span id)`` and rows by ``(-self time, category)``, so byte-identical
+inputs produce byte-identical exports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.export import RollupRow, mechanism_rollup
+
+from repro.cluster.kernel import ClusterKernel
+
+#: Pid namespace stride: merged pid = node * stride + local pid.  Far
+#: above any simulated pid (they count up from 100 per node).
+NODE_PID_STRIDE = 1_000_000
+
+
+def cluster_pid(node_index: int, pid: int) -> int:
+    """The merged-trace pid of one node-local process."""
+    return node_index * NODE_PID_STRIDE + pid
+
+
+def cluster_chrome_trace(cluster: ClusterKernel) -> Dict[str, Any]:
+    """Merge every node's spans into one Chrome trace payload."""
+    events: List[Dict[str, Any]] = []
+    records = []
+    for node in cluster.nodes:
+        tracer = node.kernel.tracer
+        if not tracer.enabled:
+            continue
+        spans = tracer.closed_spans()
+        for pid in sorted({span.pid for span in spans}):
+            name = tracer.track_names.get(pid, f"pid {pid}")
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": cluster_pid(node.index, pid),
+                "tid": cluster_pid(node.index, pid),
+                "args": {"name": f"node{node.index}:{name}"},
+            })
+        records.extend((span, node.index) for span in spans)
+    for span, node_index in sorted(
+        records, key=lambda pair: (pair[0].start_ns, pair[1], pair[0].span_id)
+    ):
+        args = {key: span.attrs[key] for key in sorted(span.attrs)}
+        if span.out_of_band:
+            args["out_of_band"] = True
+        args["node"] = node_index
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "i" if span.kind == "instant" else "X",
+            "ts": span.start_ns / 1000,
+            "pid": cluster_pid(node_index, span.pid),
+            "tid": cluster_pid(node_index, span.pid),
+            "args": args,
+        }
+        if span.kind == "instant":
+            event["s"] = "t"
+        else:
+            event["dur"] = span.duration_ns / 1000
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def render_cluster_trace(cluster: ClusterKernel) -> str:
+    """Canonical JSON text of the merged trace (byte-stable)."""
+    return json.dumps(
+        cluster_chrome_trace(cluster), indent=2, sort_keys=True
+    ) + "\n"
+
+
+def cluster_rollup(cluster: ClusterKernel) -> List[RollupRow]:
+    """Per-mechanism self time summed across nodes.
+
+    Each node's rollup partitions that node's clock exactly; the merged
+    table partitions the *sum* of node clocks (total machine-time, not
+    wall time — nodes overlap).  The ``inter_node`` category collects
+    the send/receive halves of every cross-node transfer.
+    """
+    per_category: Dict[str, List[int]] = {}
+    untraced_ns = 0
+    total_ns = 0
+    for node in cluster.nodes:
+        tracer = node.kernel.tracer
+        if not tracer.enabled:
+            untraced_ns += node.kernel.clock.now_ns
+            total_ns += node.kernel.clock.now_ns
+            continue
+        node_total = node.kernel.clock.now_ns
+        total_ns += node_total
+        for row in mechanism_rollup(tracer, node_total):
+            if row.category == "untraced":
+                untraced_ns += row.self_ns
+                continue
+            bucket = per_category.setdefault(row.category, [0, 0])
+            bucket[0] += row.spans
+            bucket[1] += row.self_ns
+
+    def row(category: str, spans: int, self_ns: int) -> RollupRow:
+        percent = 100.0 * self_ns / total_ns if total_ns else 0.0
+        return RollupRow(category, spans, self_ns, percent)
+
+    rows = [
+        row(category, spans, self_ns)
+        for category, (spans, self_ns) in per_category.items()
+    ]
+    rows.sort(key=lambda r: (-r.self_ns, r.category))
+    rows.append(row("untraced", 0, untraced_ns))
+    return rows

@@ -90,6 +90,26 @@ class ChannelFull(SimulationError):
         super().__init__(message)
 
 
+class AccountingError(SimulationError):
+    """IPC/byte accounting failed to reconcile.
+
+    Raised instead of a bare assert so the report names exactly which
+    lane (messages, lazy, zero-copy, inter-node, ...) is off and by how
+    much — a reconciliation failure is a bookkeeping bug in the
+    substrate, and "some assert tripped" is useless for finding it.
+    """
+
+    def __init__(self, context: str, mismatches: "list") -> None:
+        self.context = context
+        self.mismatches = list(mismatches)
+        lanes = "; ".join(
+            f"lane {name!r} is off by {recorded - expected:+d} "
+            f"(recorded {recorded}, expected {expected})"
+            for name, recorded, expected in self.mismatches
+        )
+        super().__init__(f"{context} failed to reconcile: {lanes}")
+
+
 class FileSystemError(SimulationError):
     """Base class for simulated filesystem failures."""
 
@@ -186,6 +206,29 @@ class CircuitOpen(ServeError):
     layer stops dispatching work at it for a cooldown window and sheds
     affected requests to degraded-but-correct responses instead of
     burning restart budget on a crash loop.
+    """
+
+
+class ClusterError(ReproError):
+    """Base class for multi-node cluster failures."""
+
+
+class NodeDown(ClusterError):
+    """An operation targeted a cluster node that has failed."""
+
+    def __init__(self, node_index: int, detail: str = "") -> None:
+        self.node_index = node_index
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"node {node_index} is down{suffix}")
+
+
+class PlacementError(ClusterError):
+    """A placement splits a partition-affinity group across nodes.
+
+    The static plan says these partitions exchange object references;
+    placing them on different nodes would turn every LDC dereference
+    into a framed inter-node byte copy, which the policy forbids unless
+    the caller explicitly opts in (``allow_split=True``).
     """
 
 

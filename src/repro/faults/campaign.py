@@ -59,6 +59,9 @@ class ChaosSettings:
     fault_rate: float = 0.02
     items: int = 2
     image_size: int = 16
+    #: Cluster width for the ``cluster`` target (single-kernel targets
+    #: ignore it; they have exactly one machine).
+    nodes: int = 1
 
     def schedule_seed(self, index: int) -> int:
         """The derived seed of schedule ``index``."""
@@ -154,6 +157,7 @@ class CampaignReport:
             "fault_rate": self.settings.fault_rate,
             "items": self.settings.items,
             "image_size": self.settings.image_size,
+            "nodes": self.settings.nodes,
             "baseline_outputs": dict(sorted(self.baseline_outputs.items())),
             "schedules": [s.to_dict() for s in self.schedules],
             "passed": self.passed,
@@ -399,18 +403,119 @@ def _run_serve(settings: ChaosSettings,
     return outcome
 
 
+def _run_cluster(settings: ChaosSettings,
+                 plan: Optional[FaultPlan]) -> RunOutcome:
+    """One sharded multi-node serving workload under node failures.
+
+    Arms the plan across every node (shared RNG, shared fault-id
+    counter), so besides the single-machine faults the drain loop's
+    node-failure hook can take whole nodes down; the server re-places
+    the dead node's shards and requests on the survivors.  Outputs,
+    frozen-write counts, stale refs, and observed fault ids aggregate
+    over all nodes.
+    """
+    import numpy as np
+
+    from repro.cluster.kernel import ClusterKernel
+    from repro.cluster.sharding import DirectoryPartitioner
+    from repro.cluster.serve import ClusterServer
+    from repro.serve.bench import standard_pipeline
+
+    nodes = max(settings.nodes, 2)
+    cluster = ClusterKernel(nodes=nodes)
+    cluster.enable_tracing()
+    if plan is not None:
+        cluster.inject_faults(plan)
+    server = ClusterServer(
+        cluster=cluster,
+        config=_chaos_config(),
+        pool_size=2,
+        batching=True,
+        max_retries=CHAOS_RPC_RETRIES,
+    )
+    tenants = 2 * nodes
+    rng = np.random.default_rng(0)
+    paths = []
+    payloads = {}
+    for tenant in range(tenants):
+        for index in range(settings.items):
+            path = f"/data/tenant-{tenant}/in-{index}.png"
+            paths.append(path)
+            payloads[path] = rng.normal(
+                size=(settings.image_size, settings.image_size)
+            )
+    manifest = DirectoryPartitioner().split(paths)
+    server.load_dataset(manifest, payloads)
+    for tenant in range(tenants):
+        server.pin_tenant_to_item(
+            f"tenant-{tenant}", f"/data/tenant-{tenant}/in-0.png"
+        )
+    for tenant in range(tenants):
+        for index in range(settings.items):
+            server.submit(
+                f"tenant-{tenant}",
+                standard_pipeline(
+                    f"/data/tenant-{tenant}/in-{index}.png",
+                    f"/out/tenant-{tenant}/out-{index}.png",
+                ),
+            )
+    responses = server.drain()
+    failed = [r for r in responses if not r.ok]
+    outputs: Dict[str, str] = {}
+    frozen = 0
+    stale = 0
+    restarts = 0
+    observed: List[int] = []
+    for node in cluster.nodes:
+        outputs.update(fingerprint_outputs(node.kernel))
+        frozen += _frozen_writes(node.kernel)
+        restarts += node.kernel.restarted_processes
+        observed.extend(_observed_fault_ids(node.kernel.tracer))
+        stale += len(server.servers[node.index].registry.stale_keys(
+            node.kernel.processes()
+        ))
+    injected = [
+        fault
+        for injector in cluster.injectors.values()
+        for fault in injector.injected
+    ]
+    by_kind: Dict[str, int] = {}
+    for fault in injected:
+        by_kind[fault.kind.value] = by_kind.get(fault.kind.value, 0) + 1
+    outcome = RunOutcome(
+        ok=not failed,
+        failed_clean=bool(failed),
+        error=failed[0].error if failed else "",
+        outputs=outputs,
+        frozen_writes=frozen,
+        stale_refs=stale,
+        fault_ids=tuple(sorted(f.fault_id for f in injected)),
+        observed_fault_ids=tuple(sorted(observed)),
+        injected_by_kind=dict(sorted(by_kind.items())),
+        decisions=plan.decisions if plan is not None else 0,
+        virtual_ns=cluster.makespan_ns,
+        restarts=restarts,
+        retries=sum(r.retries for r in responses),
+        losses_accounted=len(failed),
+    )
+    server.shutdown()
+    return outcome
+
+
 def run_target(target: str, settings: ChaosSettings,
                plan: Optional[FaultPlan]) -> RunOutcome:
     """Dispatch one run of the campaign's target."""
     if target == "serve-bench":
         return _run_serve(settings, plan)
+    if target == "cluster":
+        return _run_cluster(settings, plan)
     if target.upper().startswith("CVE-"):
         return _run_cve(target, settings, plan)
     if target.isdigit() or target in ("drone", "drone-tracker"):
         return _run_app(target, settings, plan)
     raise ValueError(
         f"unknown chaos target {target!r} (expected a sample id, 'drone', "
-        "'serve-bench', or a CVE id)"
+        "'serve-bench', 'cluster', or a CVE id)"
     )
 
 

@@ -62,6 +62,9 @@ class NullInjector:
     def restart_crash(self, agent: Any) -> bool:
         return False
 
+    def node_failure(self, candidates: Any) -> Optional[int]:
+        return None
+
 
 NULL_INJECTOR = NullInjector()
 
@@ -71,11 +74,18 @@ class FaultInjector:
 
     enabled = True
 
-    def __init__(self, plan: Optional[NoFaultPlan] = None) -> None:
+    def __init__(
+        self,
+        plan: Optional[NoFaultPlan] = None,
+        ids: Optional[Any] = None,
+    ) -> None:
         self.plan = plan if plan is not None else NoFaultPlan()
         self.kernel: Any = None
         self.injected: List[InjectedFault] = []
-        self._ids = itertools.count(1)
+        #: Fault-id source.  A cluster arms one injector per node but
+        #: passes a shared counter, so fault ids stay unique
+        #: cluster-wide and the "observed" invariant matches 1:1.
+        self._ids = ids if ids is not None else itertools.count(1)
 
     def attach(self, kernel: Any) -> None:
         """Bind to a machine (called by ``kernel.inject_faults``)."""
@@ -136,6 +146,19 @@ class FaultInjector:
                 pid=agent.process.pid,
             )
         return hit
+
+    def node_failure(self, candidates: Any) -> Optional[int]:
+        """Consulted by the cluster between request dispatches; returns
+        the index of the node that dies now, or None."""
+        victim = self.plan.node_failure(list(candidates))
+        if victim is not None:
+            self._record(
+                FaultKind.NODE_FAILURE,
+                site=f"node:{victim}",
+                node=victim,
+                candidates=len(list(candidates)),
+            )
+        return victim
 
     # ------------------------------------------------------------------
     # Recording

@@ -44,6 +44,9 @@ class FaultKind(enum.Enum):
     CHECKPOINT_TEAR = "checkpoint-tear"
     #: The freshly restarted process dies immediately (restart storm).
     RESTART_CRASH = "restart-crash"
+    #: An entire cluster node goes down: every process on it crashes and
+    #: its shards must be re-placed on the survivors.
+    NODE_FAILURE = "node-failure"
 
 
 #: The three in-RPC crash points, in the order `_execute_raw` hits them.
@@ -65,6 +68,10 @@ class FaultRates:
     channel_stall: float = 0.005
     checkpoint_tear: float = 0.2
     restart_crash: float = 0.15
+    #: Per-decision-point probability of a whole-node failure (cluster
+    #: targets consult this between request dispatches; single-kernel
+    #: targets never reach the hook).
+    node_failure: float = 0.0
 
     @classmethod
     def scaled(cls, fault_rate: float) -> "FaultRates":
@@ -81,6 +88,7 @@ class FaultRates:
             channel_stall=fault_rate / 2,
             checkpoint_tear=min(5 * fault_rate, 0.5),
             restart_crash=min(3 * fault_rate, 0.5),
+            node_failure=min(2 * fault_rate, 0.2),
         )
 
 
@@ -108,6 +116,11 @@ class NoFaultPlan:
     def restart_crash(self, agent_label: str) -> bool:
         """Whether the replacement process dies immediately."""
         return False
+
+    def node_failure(self, candidates) -> Optional[int]:
+        """Which living node dies now (an index from ``candidates``),
+        or None.  Consulted by cluster targets between dispatches."""
+        return None
 
 
 class FaultPlan(NoFaultPlan):
@@ -156,3 +169,9 @@ class FaultPlan(NoFaultPlan):
 
     def restart_crash(self, agent_label: str) -> bool:
         return self._draw() < self.rates.restart_crash
+
+    def node_failure(self, candidates) -> Optional[int]:
+        if not candidates or self._draw() >= self.rates.node_failure:
+            return None
+        self.decisions += 1
+        return candidates[self._rng.randrange(len(candidates))]

@@ -38,6 +38,8 @@ class AdmissionStats:
     rejected_tenant_budget: int = 0
     dispatched: int = 0
     timed_out: int = 0
+    #: Requests pulled back out undispatched (node failure re-placement).
+    evicted: int = 0
 
 
 class AdmissionQueue:
@@ -120,6 +122,30 @@ class AdmissionQueue:
             self.stats.dispatched += 1
             return request
         return None
+
+    # ------------------------------------------------------------------
+    # Eviction (node-failure re-placement)
+    # ------------------------------------------------------------------
+
+    def evict_pending(self) -> List:
+        """Pull every undispatched request back out, fair-share order.
+
+        Used when this queue's machine goes down: the pending requests
+        were admitted but never ran, so the cluster re-places them on
+        surviving nodes.  Deadlines and ``enqueued_at_ns`` are left
+        untouched — the wait already happened; the new queue re-stamps
+        on re-submit.
+        """
+        evicted: List = []
+        while self._queues:
+            tenant_id, tenant_queue = next(iter(self._queues.items()))
+            self._queues.move_to_end(tenant_id)
+            evicted.append(tenant_queue.popleft())
+            if not tenant_queue:
+                del self._queues[tenant_id]
+            self._pending -= 1
+            self.stats.evicted += 1
+        return evicted
 
     # ------------------------------------------------------------------
     # Introspection

@@ -198,12 +198,26 @@ class PipelineServer:
         """Serve every queued request (fair-share order); return results."""
         served: List[ServeResponse] = []
         while True:
-            request = self.queue.next_request()
-            if request is None:
+            response = self.serve_one()
+            if response is None:
                 break
-            served.append(self._dispatch(request))
-        self.responses.extend(served)
+            served.append(response)
         return served
+
+    def serve_one(self) -> Optional[ServeResponse]:
+        """Dispatch exactly one queued request (None when idle).
+
+        The cluster's round-robin drain interleaves nodes one request at
+        a time — and checks the node-failure fault hook between
+        dispatches — so it needs a single-step entry point rather than
+        the run-to-empty :meth:`drain`.
+        """
+        request = self.queue.next_request()
+        if request is None:
+            return None
+        response = self._dispatch(request)
+        self.responses.append(response)
+        return response
 
     def _dispatch(self, request: ServeRequest) -> ServeResponse:
         tracer = self.kernel.tracer

@@ -20,7 +20,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional
 
-from repro.errors import ChannelClosed, ChannelFull
+from repro.errors import AccountingError, ChannelClosed, ChannelFull
 from repro.faults.injector import NULL_INJECTOR
 from repro.faults.plan import FaultKind
 from repro.obs.tracer import NULL_TRACER
@@ -28,6 +28,24 @@ from repro.sim.clock import VirtualClock
 from repro.sim.memory import payload_nbytes
 
 DEFAULT_CHANNEL_CAPACITY = 64 * 1024 * 1024
+
+
+def reconcile_lanes(context: str, recorded: Dict[str, int],
+                    expected: Dict[str, int]) -> None:
+    """Check recorded lane counters against independently derived values.
+
+    Raises :class:`~repro.errors.AccountingError` naming every off-by
+    lane with its delta (instead of a bare assert that names nothing).
+    Lanes present only on one side count as a mismatch against zero.
+    """
+    mismatches = []
+    for name in sorted(set(recorded) | set(expected)):
+        got = int(recorded.get(name, 0))
+        want = int(expected.get(name, 0))
+        if got != want:
+            mismatches.append((name, got, want))
+    if mismatches:
+        raise AccountingError(context, mismatches)
 
 
 @dataclass(frozen=True)
@@ -111,6 +129,44 @@ class IpcAccounting:
     def record_cow(self, nbytes: int) -> None:
         self.cow_downgrades += 1
         self.cow_bytes += nbytes
+
+    def lanes(self) -> Dict[str, int]:
+        """Every counter as a flat lane name -> value mapping."""
+        return {
+            "messages": self.messages,
+            "message_bytes": self.message_bytes,
+            "framed_messages": self.framed_messages,
+            "lazy_copies": self.lazy_copies,
+            "lazy_copy_bytes": self.lazy_copy_bytes,
+            "nonlazy_copies": self.nonlazy_copies,
+            "nonlazy_copy_bytes": self.nonlazy_copy_bytes,
+            "zero_copy_transfers": self.zero_copy_transfers,
+            "zero_copy_bytes": self.zero_copy_bytes,
+            "cow_downgrades": self.cow_downgrades,
+            "cow_bytes": self.cow_bytes,
+        }
+
+    def reconcile(self, context: str = "ipc accounting",
+                  **expected: int) -> None:
+        """Verify named lanes against expected values.
+
+        ``accounting.reconcile(messages=12, lazy_copy_bytes=4096)``
+        raises :class:`~repro.errors.AccountingError` naming every lane
+        that disagrees; lanes not mentioned are not checked.  Derived
+        totals (``total_copies``, ``total_copy_bytes``) may be named
+        too.
+        """
+        lanes = self.lanes()
+        lanes["total_copies"] = self.total_copies
+        lanes["total_copy_bytes"] = self.total_copy_bytes
+        unknown = sorted(set(expected) - set(lanes))
+        if unknown:
+            raise ValueError(f"unknown accounting lanes: {unknown}")
+        reconcile_lanes(
+            context,
+            {name: lanes[name] for name in expected},
+            expected,
+        )
 
     def snapshot(self) -> "IpcAccounting":
         return IpcAccounting(

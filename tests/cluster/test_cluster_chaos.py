@@ -1,0 +1,70 @@
+"""The 'cluster' chaos target: node failures under the four invariants."""
+
+import pytest
+
+from repro.faults.campaign import ChaosSettings, run_campaign, run_target
+from repro.faults.plan import FaultPlan, FaultRates
+
+
+def _settings(**overrides):
+    base = dict(target="cluster", seed=3, campaign=4, fault_rate=0.04,
+                items=2, image_size=8, nodes=3)
+    base.update(overrides)
+    return ChaosSettings(**base)
+
+
+def test_baseline_run_is_clean():
+    outcome = run_target("cluster", _settings(), None)
+    assert outcome.ok
+    assert outcome.outputs  # every tenant's files, merged across nodes
+    assert outcome.frozen_writes == 0
+    assert outcome.stale_refs == 0
+    assert outcome.fault_ids == ()
+
+
+def test_campaign_invariants_hold():
+    report = run_campaign(_settings())
+    assert len(report.schedules) == 4
+    assert report.passed, [
+        (s.index, s.invariants) for s in report.schedules
+    ]
+
+
+def test_campaign_digest_is_rerun_stable():
+    settings = _settings()
+    assert run_campaign(settings).digest() == \
+        run_campaign(settings).digest()
+
+
+def test_node_failures_appear_and_are_survived():
+    # A hot enough rate that node failures actually fire across the
+    # campaign; every schedule must still pass all four invariants.
+    report = run_campaign(_settings(seed=11, campaign=6, fault_rate=0.08))
+    kinds = {}
+    for schedule in report.schedules:
+        for kind, count in schedule.injected.items():
+            kinds[kind] = kinds.get(kind, 0) + count
+    assert kinds.get("node-failure", 0) > 0
+    assert report.passed, [
+        (s.index, s.invariants) for s in report.schedules
+    ]
+
+
+def test_faulted_outcome_observes_every_fault():
+    settings = _settings(seed=11, fault_rate=0.08)
+    plan = FaultPlan(
+        seed=settings.schedule_seed(0),
+        rates=FaultRates().scaled(settings.fault_rate),
+    )
+    outcome = run_target("cluster", settings, plan)
+    assert set(outcome.fault_ids) <= set(outcome.observed_fault_ids)
+
+
+def test_nodes_field_lands_in_report_dict():
+    report = run_campaign(_settings(campaign=1))
+    assert report.to_dict()["nodes"] == 3
+
+
+def test_unknown_target_mentions_cluster():
+    with pytest.raises(ValueError, match="cluster"):
+        run_target("warp-drive", _settings(), None)

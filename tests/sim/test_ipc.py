@@ -163,3 +163,62 @@ def test_channel_pair_directions(clock, accounting):
     assert pair.response.receive().payload == "done"
     pair.close()
     assert pair.request.closed and pair.response.closed
+
+
+class TestLaneReconciliation:
+    """The reconcile API: AccountingError names every off-by lane."""
+
+    def test_lanes_exposes_every_counter(self, accounting):
+        accounting.record_message(10)
+        accounting.record_copy(5, lazy=True)
+        lanes = accounting.lanes()
+        assert lanes["messages"] == 1
+        assert lanes["message_bytes"] == 10
+        assert lanes["lazy_copies"] == 1
+        assert lanes["lazy_copy_bytes"] == 5
+        assert set(lanes) >= {
+            "messages", "message_bytes", "framed_messages",
+            "lazy_copies", "lazy_copy_bytes",
+            "nonlazy_copies", "nonlazy_copy_bytes",
+            "zero_copy_transfers", "zero_copy_bytes",
+            "cow_downgrades", "cow_bytes",
+        }
+
+    def test_reconcile_passes_on_match(self, accounting):
+        accounting.record_message(10)
+        accounting.reconcile(messages=1, message_bytes=10)
+
+    def test_reconcile_names_the_off_lane(self, accounting):
+        from repro.errors import AccountingError
+
+        accounting.record_message(10)
+        with pytest.raises(AccountingError) as excinfo:
+            accounting.reconcile(messages=1, message_bytes=14)
+        message = str(excinfo.value)
+        assert "message_bytes" in message
+        assert "-4" in message
+        assert "recorded 10" in message
+        assert "expected 14" in message
+
+    def test_reconcile_reports_every_off_lane(self, accounting):
+        from repro.errors import AccountingError
+
+        accounting.record_message(10)
+        with pytest.raises(AccountingError) as excinfo:
+            accounting.reconcile(messages=3, message_bytes=14)
+        message = str(excinfo.value)
+        assert "messages" in message and "message_bytes" in message
+
+    def test_reconcile_derived_totals(self, accounting):
+        accounting.record_copy(5, lazy=True)
+        accounting.record_copy(7, lazy=False)
+        accounting.reconcile(total_copies=2, total_copy_bytes=12)
+
+    def test_reconcile_rejects_unknown_lane(self, accounting):
+        with pytest.raises(ValueError):
+            accounting.reconcile(not_a_lane=0)
+
+    def test_accounting_error_is_simulation_error(self):
+        from repro.errors import AccountingError, SimulationError
+
+        assert issubclass(AccountingError, SimulationError)
