@@ -44,11 +44,57 @@ def test_bench_staticcheck_throughput(benchmark):
         ["metric", "value"], rows,
     ))
 
-    # The corpus includes every violating fixture: all six rule classes
+    # The corpus includes every violating fixture: every rule class
     # must surface, and the scan must cover the full file set.
     assert result.files_checked == file_count
     by_rule = result.by_rule()
     for rule in ("frozen-write", "phase-order", "syscall-pool",
                  "wrong-partition-deref", "dead-api", "uncategorizable",
-                 "tenant-ref-leak"):
+                 "tenant-ref-leak", "cross-partition-leak",
+                 "tenant-taint-escape", "frozen-alias-write"):
         assert by_rule.get(rule, 0) >= 1, rule
+
+
+@pytest.mark.benchmark(group="staticcheck")
+def test_bench_dataflow_pass(benchmark):
+    """The interprocedural flow pass alone, isolated from parsing and
+    the syntactic rules — what the taint walker costs per file."""
+    from repro.staticcheck.callgraph import build_module
+    from repro.staticcheck.dataflow import DataflowAnalysis
+    from repro.staticcheck.inference import PartitionInferencer
+
+    summaries = []
+    for path in iter_python_files(CORPUS):
+        summary = build_module(path)
+        if summary.parse_error is None:
+            summaries.append(summary)
+
+    def flow_pass():
+        reports = []
+        for summary in summaries:
+            inferencer = PartitionInferencer(summary)
+            reports.append(DataflowAnalysis(summary, inferencer).run())
+        return reports
+
+    reports = benchmark.pedantic(flow_pass, rounds=3, iterations=1)
+
+    seconds = benchmark.stats.stats.mean
+    leaks = sum(len(r.leaks) for r in reports)
+    escapes = sum(len(r.escapes) for r in reports)
+    alias_writes = sum(len(r.alias_writes) for r in reports)
+    emit(render_table(
+        "Interprocedural dataflow — flow pass only",
+        ["metric", "value"],
+        [
+            ["modules analyzed", len(reports)],
+            ["modules/sec", f"{len(reports) / seconds:,.0f}" if seconds
+             else "inf"],
+            ["flow pass ms", f"{seconds * 1e3:,.2f}"],
+            ["leak hits", leaks],
+            ["escape hits", escapes],
+            ["alias-write hits", alias_writes],
+        ],
+    ))
+
+    assert len(reports) == len(summaries)
+    assert leaks >= 1 and escapes >= 1 and alias_writes >= 1

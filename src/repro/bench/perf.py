@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 SCHEMA = "freepart-bench/v1"
-BENCH_NAMES = ("table9", "serve", "ldc", "cluster")
+BENCH_NAMES = ("table9", "serve", "ldc", "cluster", "staticcheck")
 DEFAULT_TOLERANCE = 0.05
 
 _DIRECTIONS = ("lower", "higher")
@@ -213,11 +213,132 @@ def bench_cluster() -> Dict[str, Any]:
     }
 
 
+#: Embedded corpus for the staticcheck bench — inline so the payload is
+#: byte-identical regardless of where the repo is checked out.
+_FLOW_VIOLATIONS = (
+    # cross-partition-leak: materialized copy laundered via a container.
+    "def pipeline(gateway):\n"
+    "    image = gateway.call('opencv', 'imread', '/d/in.png')\n"
+    "    pixels = gateway.materialize(image)\n"
+    "    batch = [pixels]\n"
+    "    return gateway.call('opencv', 'Canny', batch[0])\n",
+    # tenant-taint-escape: tenant payload parked in module state.
+    "STATS = {}\n"
+    "\n"
+    "def handle_request(gateway, tenant_id, path):\n"
+    "    image = gateway.call('opencv', 'imread', path)\n"
+    "    pixels = gateway.materialize(image)\n"
+    "    STATS[tenant_id] = pixels\n"
+    "    return pixels\n",
+    # frozen-alias-write: aliased write to a frozen tag.
+    "from repro.sim.memory import MemoryLayout\n"
+    "\n"
+    "ANNOTATIONS = (MemoryLayout(name='s', tag='s', nbytes=64),)\n"
+    "\n"
+    "def pipeline(gateway):\n"
+    "    gateway.host_alloc('s', [0.0])\n"
+    "    image = gateway.call('opencv', 'imread', '/d/in.png')\n"
+    "    tag = 's'\n"
+    "    gateway.host_write(tag, [1.0])\n"
+    "    return image\n",
+)
+
+_FLOW_CLEAN = (
+    "def pipeline(gateway):\n"
+    "    image = gateway.call('opencv', 'imread', '/d/in.png')\n"
+    "    batch = [image]\n"
+    "    return gateway.call('opencv', 'Canny', batch[0])\n",
+    "def handle_request(gateway, tenant_id, path):\n"
+    "    image = gateway.call('opencv', 'imread', path)\n"
+    "    pixels = gateway.materialize(image)\n"
+    "    local = {}\n"
+    "    local[tenant_id] = pixels\n"
+    "    return pixels\n",
+)
+
+
+def bench_staticcheck() -> Dict[str, Any]:
+    """The flow pass as a trajectory: detection, precision, privilege
+    reduction, and parity — all deterministic counts.
+
+    ``dataflow_clean_findings`` and ``trace_parity_violations`` gate at
+    0 with direction ``lower``: any false positive on the clean corpus
+    or any runtime touch outside the static universe trips the gate
+    regardless of tolerance.
+    """
+    from repro.apps.base import Workload, execute_app
+    from repro.apps.drone import DroneApp
+    from repro.attacks.scenarios import build_gateway
+    from repro.core.runtime import FreePartConfig
+    from repro.frameworks.syscall_pools import pool_for
+    from repro.obs.export import to_chrome_trace
+    from repro.sim.kernel import SimKernel
+    from repro.staticcheck.checker import check_source
+    from repro.staticcheck.parity import check_trace_parity, universe_from_app
+    from repro.staticcheck.privileges import privileges_for_app
+
+    violation_findings = 0
+    for index, source in enumerate(_FLOW_VIOLATIONS):
+        findings, _ = check_source(f"violation_{index}.py", source)
+        violation_findings += len(findings)
+    clean_findings = 0
+    for index, source in enumerate(_FLOW_CLEAN):
+        findings, _ = check_source(f"clean_{index}.py", source)
+        clean_findings += len(findings)
+
+    app = DroneApp()
+    privileges = privileges_for_app(app)
+    pool_total = 0
+    minimal_total = 0
+    for privilege in privileges.values():
+        pool = pool_for(privilege.api_type)
+        if pool is None:
+            continue
+        pool_total += len(pool)
+        minimal_total += len(
+            privilege.minimal_allowed() | privilege.minimal_init_only()
+        )
+
+    kernel = SimKernel()
+    kernel.enable_tracing()
+    config = FreePartConfig(trace=True, annotations=tuple(app.annotations))
+    gateway = build_gateway("freepart", kernel, app=app, config=config)
+    execute_app(app, gateway, Workload(items=2, image_size=16))
+    payload = to_chrome_trace(kernel.tracer)
+    parity = check_trace_parity(
+        universe_from_app(app), payload, "bench-trace"
+    )
+
+    return {
+        "schema": SCHEMA,
+        "bench": "staticcheck",
+        "metrics": {
+            "dataflow_violation_findings": _metric(
+                violation_findings, "higher"
+            ),
+            "dataflow_clean_findings": _metric(clean_findings, "lower"),
+            "pool_reduction_syscalls": _metric(
+                pool_total - minimal_total, "higher"
+            ),
+            "trace_parity_violations": _metric(len(parity), "lower"),
+        },
+        "details": {
+            "violation_sources": len(_FLOW_VIOLATIONS),
+            "clean_sources": len(_FLOW_CLEAN),
+            "agents_inferred": sorted(privileges),
+            "pool_syscalls_total": pool_total,
+            "minimal_syscalls_total": minimal_total,
+            "trace_events": len(payload["traceEvents"]),
+        },
+    }
+
+
 _BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "table9": bench_table9,
     "serve": bench_serve,
     "ldc": bench_ldc,
     "cluster": bench_cluster,
+    "staticcheck": bench_staticcheck,
 }
 
 

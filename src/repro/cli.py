@@ -484,14 +484,92 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_check(args: argparse.Namespace) -> int:
-    from repro.staticcheck import render_json, render_text, run_check
+def _check_app_targets(targets):
+    """Resolve ``--app`` values to Application instances."""
+    apps = []
+    for target in targets:
+        if target in ("drone", "drone-tracker"):
+            from repro.apps.drone import DroneApp
 
+            apps.append(DroneApp())
+        elif target == "all":
+            from repro.apps.suite import all_apps
+
+            apps.extend(all_apps())
+        elif target.isdigit():
+            from repro.apps.suite import make_app
+
+            apps.append(make_app(int(target)))
+        else:
+            raise CliUsageError(
+                f"unknown --app target {target!r} (expected a sample id, "
+                "'drone', or 'all')"
+            )
+    return apps
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.staticcheck import render_json, render_text, run_check
+    from repro.staticcheck.parity import (
+        check_trace_parity,
+        merge_universes,
+        universe_from_app,
+        universe_from_paths,
+    )
+    from repro.staticcheck.privileges import (
+        merge_privileges,
+        privileges_for_app,
+        render_minimal_pools,
+    )
+
+    if not args.paths and not args.app:
+        raise CliUsageError(
+            "nothing to check: give source paths and/or --app targets"
+        )
+    apps = _check_app_targets(args.app or [])
     try:
-        result = run_check(args.paths)
+        result = run_check(args.paths, strict_pools=args.strict_pools)
     except FileNotFoundError as exc:
         raise CliUsageError(f"no such file or directory: {exc.args[0]}") \
             from None
+    privileges = merge_privileges(
+        [result.privileges]
+        + [privileges_for_app(app) for app in apps]
+    )
+
+    if args.against_trace:
+        try:
+            with open(args.against_trace, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise CliUsageError(
+                f"no such trace file: {args.against_trace!r}"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise CliUsageError(
+                f"not a Chrome trace JSON file: {args.against_trace!r} "
+                f"({exc})"
+            ) from None
+        universe = merge_universes(
+            [universe_from_paths(args.paths)]
+            + [universe_from_app(app) for app in apps]
+        )
+        result.findings.extend(
+            check_trace_parity(universe, payload, args.against_trace)
+        )
+        result.findings.sort(key=lambda finding: finding.sort_key())
+
+    if args.emit_minimal_pools:
+        # Machine-readable pools on stdout (pipe into a file and load
+        # them as FreePartConfig.filter_overrides); findings still
+        # drive the exit code but go to stderr so stdout stays JSON.
+        print(render_minimal_pools(privileges))
+        if result.findings:
+            print(render_text(result), file=sys.stderr)
+        return result.exit_code
+
     renderer = render_json if args.format == "json" else render_text
     print(renderer(result))
     return result.exit_code
@@ -611,7 +689,8 @@ def build_parser() -> argparse.ArgumentParser:
              "against committed baselines",
     )
     p.add_argument("--which",
-                   choices=["table9", "serve", "ldc", "cluster", "all"],
+                   choices=["table9", "serve", "ldc", "cluster",
+                            "staticcheck", "all"],
                    default="all",
                    help="which bench payload(s) to measure (default all)")
     p.add_argument("--json", action="store_true",
@@ -628,10 +707,24 @@ def build_parser() -> argparse.ArgumentParser:
         "check",
         help="static partition linter over host-program source",
     )
-    p.add_argument("paths", nargs="+",
+    p.add_argument("paths", nargs="*",
                    help="files or directories to check")
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="report format (default text)")
+    p.add_argument("--app", action="append", metavar="TARGET",
+                   help="also analyze a catalog app's declarative "
+                        "schedule (a sample id, 'drone', or 'all'; "
+                        "repeatable)")
+    p.add_argument("--strict-pools", action="store_true",
+                   help="enable advisory over-privileged-pool findings")
+    p.add_argument("--emit-minimal-pools", action="store_true",
+                   help="print the inferred minimal per-agent filter "
+                        "specs as JSON instead of the findings report")
+    p.add_argument("--against-trace", metavar="TRACE_JSON",
+                   help="parity-gate a recorded Chrome trace: fail if "
+                        "the runtime touched any API, syscall, or "
+                        "partition edge static analysis deemed "
+                        "unreachable")
     return parser
 
 

@@ -19,6 +19,11 @@ from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 from repro.core.partitioner import PartitionPlan
 from repro.errors import PlacementError
 
+try:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.staticcheck.privileges import AgentPrivilege
+except ImportError:  # pragma: no cover
+    AgentPrivilege = None  # type: ignore[assignment, misc]
+
 
 @dataclass(frozen=True)
 class Placement:
@@ -155,3 +160,100 @@ def check_placement(
     violations = placement_violations(placement, groups)
     if violations and not allow_split:
         raise PlacementError("; ".join(violations))
+
+
+def exposure_by_node(
+    placement: Placement, privileges: Dict[str, "AgentPrivilege"]
+) -> Dict[int, int]:
+    """Syscall attack surface per node: |union of co-located budgets|.
+
+    Two partitions on one node share a kernel; a compromise of either
+    agent can attempt every syscall any co-located filter allows, so the
+    node's exposure is the size of the *union* of the minimal budgets
+    (allowed + init-only) of everything placed there.
+    """
+    unions: Dict[int, set] = {}
+    for label, node in placement.assignments:
+        privilege = privileges.get(label)
+        if privilege is None:
+            continue
+        budget = unions.setdefault(node, set())
+        budget.update(privilege.minimal_allowed())
+        budget.update(privilege.minimal_init_only())
+    return {node: len(budget) for node, budget in sorted(unions.items())}
+
+
+def privilege_placement(
+    privileges: Dict[str, "AgentPrivilege"],
+    node_count: int,
+    groups: Iterable[FrozenSet[str]] = (),
+) -> Placement:
+    """Place partitions to minimize worst-node syscall exposure.
+
+    Affinity groups stay whole (each is one placement unit; splitting a
+    group pays the inter-node byte-copy wire, which dominates any
+    security score).  Units are placed greedily in descending privilege
+    weight, each onto the node whose budget union grows the least —
+    heavy, overlapping privilege sets gravitate together while disjoint
+    ones spread, bounding what one kernel compromise can reach.
+    Deterministic: ties break on lowest node index, units of equal
+    weight on label order.
+    """
+    if node_count < 1:
+        raise PlacementError(f"node count must be >= 1, got {node_count}")
+
+    def budget_of(label: str) -> FrozenSet[str]:
+        privilege = privileges.get(label)
+        if privilege is None:
+            return frozenset()
+        return privilege.minimal_allowed() | privilege.minimal_init_only()
+
+    # Fold each label into its (merged) affinity unit.
+    unit_of: Dict[str, FrozenSet[str]] = {}
+    for group in affinity_groups(
+        [_FakeReport(group) for group in groups]
+    ) if groups else []:
+        for label in group:
+            unit_of[label] = group
+    for label in privileges:
+        unit_of.setdefault(label, frozenset({label}))
+
+    units: List[Tuple[FrozenSet[str], FrozenSet[str]]] = []
+    for unit in sorted(set(unit_of.values()), key=lambda u: sorted(u)):
+        combined: set = set()
+        for label in unit:
+            combined |= budget_of(label)
+        units.append((unit, frozenset(combined)))
+    units.sort(key=lambda item: (-len(item[1]), sorted(item[0])))
+
+    node_budgets: List[set] = [set() for _ in range(node_count)]
+    assignment: Dict[str, int] = {}
+    for unit, budget in units:
+        best, best_score = 0, None
+        for node in range(node_count):
+            resulting = [len(existing) for existing in node_budgets]
+            resulting[node] = len(node_budgets[node] | budget)
+            # Minimize the worst node's exposure after this placement;
+            # on ties, the smallest union growth, then the lowest index.
+            score = (
+                max(resulting),
+                len(budget - node_budgets[node]),
+                node,
+            )
+            if best_score is None or score < best_score:
+                best, best_score = node, score
+        node_budgets[best].update(budget)
+        for label in sorted(unit):
+            assignment[label] = best
+    return Placement.of(assignment)
+
+
+class _FakeReport:
+    """Adapter: a raw label set quacking like a FunctionReport."""
+
+    def __init__(self, labels: FrozenSet[str]) -> None:
+        self._labels = set(labels)
+
+    def agents_used(self) -> set:
+        """The co-location constraint this pseudo-report carries."""
+        return set(self._labels)

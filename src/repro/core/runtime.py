@@ -43,6 +43,7 @@ from repro.errors import (
 )
 from repro.frameworks.base import DataObject, FrameworkAPI
 from repro.frameworks.registry import iter_apis
+from repro.sim.filters import FilterSpec
 from repro.sim.kernel import SimKernel
 from repro.sim.memory import Buffer, MemoryLayout
 from repro.sim.process import SimProcess
@@ -121,6 +122,11 @@ class FreePartConfig:
     #: clock, so enabling it changes no reproduced number; disabled (the
     #: default) the no-op tracer costs hot paths a single flag check.
     trace: bool = False
+    #: Per-partition seccomp filter overrides keyed by partition label
+    #: (e.g. the tightened specs from ``repro check
+    #: --emit-minimal-pools``).  A label present here replaces the
+    #: policy-derived spec entirely; absent labels keep the default.
+    filter_overrides: Optional[Dict[str, FilterSpec]] = None
 
 
 @dataclass
@@ -164,15 +170,22 @@ def build_filter_specs(
 ) -> Dict[int, Any]:
     """Per-partition seccomp filter specs (shared by gateways and pools)."""
     path_policies = config.path_policies or {}
+    overrides = config.filter_overrides or {}
     return {
-        partition.index: filter_spec_for_partition(
-            partition,
-            categorization,
-            # Manually sub-partitioned agents (labelled "type#n") get
-            # tight per-group filters (Appendix A.6); full-type agents
-            # get the Table 7 pool.
-            widen_to_pool=config.widen_to_pool and "#" not in partition.label,
-            path_prefixes=path_policies.get(partition.api_type),
+        partition.index: (
+            overrides[partition.label]
+            if partition.label in overrides
+            else filter_spec_for_partition(
+                partition,
+                categorization,
+                # Manually sub-partitioned agents (labelled "type#n") get
+                # tight per-group filters (Appendix A.6); full-type agents
+                # get the Table 7 pool.
+                widen_to_pool=(
+                    config.widen_to_pool and "#" not in partition.label
+                ),
+                path_prefixes=path_policies.get(partition.api_type),
+            )
         )
         for partition in plan.partitions
     }

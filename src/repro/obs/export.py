@@ -19,8 +19,8 @@ remainder partition the run's end-to-end virtual time exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.obs.tracer import Span
 
@@ -31,6 +31,8 @@ __all__ = [
     "mechanism_rollup",
     "render_rollup",
     "RollupRow",
+    "RuntimeTouches",
+    "trace_runtime_touches",
 ]
 
 _ALLOWED_PHASES = frozenset({"X", "i", "M"})
@@ -203,3 +205,63 @@ def render_rollup(tracer: Any, total_ns: int) -> str:
         table,
         note=f"end-to-end virtual time: {total_ns} ns",
     )
+
+
+@dataclass
+class RuntimeTouches:
+    """What a recorded run actually touched (parity-check evidence).
+
+    Extracted from a Chrome trace payload: every API the host RPC'd,
+    the agent label behind each agent pid, the syscalls each agent
+    executed, and the ordered cross-partition edges (consecutive RPCs
+    from one host pid landing in different agents).
+    """
+
+    apis: Set[str] = field(default_factory=set)
+    agents_by_pid: Dict[int, str] = field(default_factory=dict)
+    syscalls_by_agent: Dict[str, Set[str]] = field(default_factory=dict)
+    edges: Set[Tuple[str, str]] = field(default_factory=set)
+
+
+def trace_runtime_touches(payload: Any) -> RuntimeTouches:
+    """Replay a Chrome trace payload into a :class:`RuntimeTouches`.
+
+    Events arrive timestamp-ordered (``to_chrome_trace`` sorts them), so
+    per-host-pid RPC sequences reconstruct the partition hops in order.
+    Syscalls on pids with no rpc annotation (the host, infra processes)
+    are skipped — only agent processes are under seccomp policy.
+    """
+    touches = RuntimeTouches()
+    rpc_sequences: Dict[int, List[str]] = {}
+    syscalls_by_pid: Dict[int, Set[str]] = {}
+    events = payload.get("traceEvents", []) if isinstance(payload, dict) else []
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        category = event.get("cat")
+        args = event.get("args") or {}
+        if category == "rpc":
+            api = args.get("api")
+            if api:
+                touches.apis.add(api)
+            agent = args.get("agent")
+            agent_pid = args.get("agent_pid")
+            if agent and isinstance(agent_pid, int):
+                touches.agents_by_pid[agent_pid] = agent
+            if agent:
+                rpc_sequences.setdefault(event.get("pid", 0), []).append(agent)
+        elif category == "syscall":
+            name = args.get("syscall")
+            pid = event.get("pid")
+            if name and isinstance(pid, int):
+                syscalls_by_pid.setdefault(pid, set()).add(name)
+    for pid, names in syscalls_by_pid.items():
+        agent = touches.agents_by_pid.get(pid)
+        if agent is None:
+            continue
+        touches.syscalls_by_agent.setdefault(agent, set()).update(names)
+    for sequence in rpc_sequences.values():
+        for previous, current in zip(sequence, sequence[1:]):
+            if previous != current:
+                touches.edges.add((previous, current))
+    return touches

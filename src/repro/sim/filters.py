@@ -210,3 +210,34 @@ class FilterSpec:
             allowed_fds=self.allowed_fds,
             allowed_path_prefixes=self.allowed_path_prefixes,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (sorted; ``--emit-minimal-pools``)."""
+        return {
+            "allowed": sorted(self.allowed),
+            "init_only": sorted(self.init_only),
+            "allowed_fds": (
+                sorted(self.allowed_fds)
+                if self.allowed_fds is not None else None
+            ),
+            "allowed_path_prefixes": (
+                list(self.allowed_path_prefixes)
+                if self.allowed_path_prefixes is not None else None
+            ),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FilterSpec":
+        """Rebuild a spec emitted by :meth:`to_dict` (install path)."""
+        fds = payload.get("allowed_fds")
+        prefixes = payload.get("allowed_path_prefixes")
+        return cls(
+            allowed=frozenset(payload.get("allowed", ())),
+            init_only=frozenset(payload.get("init_only", ())),
+            allowed_fds=frozenset(fds) if fds is not None else None,
+            allowed_path_prefixes=(
+                tuple(prefixes) if prefixes is not None else None
+            ),
+            description=payload.get("description", ""),
+        )

@@ -195,6 +195,15 @@ class ModuleSummary:
     dynamic_spec_frameworks: Set[str] = field(default_factory=set)
     unresolved_calls: int = 0
     parse_error: Optional[str] = None
+    #: The parsed module (None on parse errors).  The dataflow pass
+    #: re-walks it with a taint environment; keeping the tree here saves
+    #: a second parse and guarantees both passes see identical source.
+    tree: Optional[ast.Module] = None
+    #: Module-level string constants (name -> value), shared with the
+    #: dataflow pass for tag/framework alias resolution.
+    constants: Dict[str, str] = field(default_factory=dict)
+    #: Module-level assigned names (shared-state bases for escape checks).
+    module_level_names: Set[str] = field(default_factory=set)
 
     def all_events(self) -> List[TraceEvent]:
         """Every event across every function (declaration order)."""
@@ -872,7 +881,9 @@ class CallGraphBuilder:
             self.summary.parse_error = f"{exc.msg} (line {exc.lineno})"
             return self.summary
         self._tree = tree
+        self.summary.tree = tree
         self.constants = _module_prepass(tree, self.summary)
+        self.summary.constants = self.constants
 
         for statement in tree.body:
             if isinstance(statement, ast.Assign):
@@ -882,6 +893,7 @@ class CallGraphBuilder:
             elif isinstance(statement, ast.AnnAssign):
                 if isinstance(statement.target, ast.Name):
                     self.module_level_names.add(statement.target.id)
+        self.summary.module_level_names = self.module_level_names
 
         self._collect_functions(tree)
         for _ in range(self.MAX_PASSES):

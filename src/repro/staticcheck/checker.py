@@ -15,7 +15,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.staticcheck.callgraph import CallGraphBuilder
+from repro.staticcheck.dataflow import DataflowAnalysis
 from repro.staticcheck.inference import PartitionInferencer
+from repro.staticcheck.privileges import (
+    AgentPrivilege,
+    collect_privileges,
+    merge_privileges,
+)
 from repro.staticcheck.report import Finding, Severity, filter_suppressed
 from repro.staticcheck.rules import ALL_RULES, Rule, RuleContext
 
@@ -27,6 +33,9 @@ class CheckResult:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    #: Per-agent minimal privileges merged over every checked file
+    #: (feeds ``--emit-minimal-pools`` and placement scoring).
+    privileges: Dict[str, AgentPrivilege] = field(default_factory=dict)
 
     @property
     def errors(self) -> int:
@@ -83,9 +92,23 @@ def iter_python_files(paths: Sequence[str]) -> List[str]:
 
 
 def check_source(
-    path: str, source: str, rules: Optional[Sequence[Rule]] = None
+    path: str,
+    source: str,
+    rules: Optional[Sequence[Rule]] = None,
+    strict_pools: bool = False,
 ) -> Tuple[List[Finding], int]:
     """Check one in-memory source text; returns ``(findings, suppressed)``."""
+    findings, suppressed, _ = _check_source(path, source, rules, strict_pools)
+    return findings, suppressed
+
+
+def _check_source(
+    path: str,
+    source: str,
+    rules: Optional[Sequence[Rule]] = None,
+    strict_pools: bool = False,
+) -> Tuple[List[Finding], int, Dict[str, AgentPrivilege]]:
+    """Full single-file pipeline: findings, suppressions, privileges."""
     builder = CallGraphBuilder(path, source)
     summary = builder.build()
     if summary.parse_error is not None:
@@ -99,14 +122,25 @@ def check_source(
                 message=f"cannot parse file: {summary.parse_error}",
             )],
             0,
+            {},
         )
     inferencer = PartitionInferencer(summary)
     reports = inferencer.infer()
+    try:
+        dataflow = DataflowAnalysis(summary, inferencer).run()
+    except RecursionError:
+        # Pathologically deep ASTs: fall back to the per-site rules
+        # rather than crashing the whole check run.
+        dataflow = None
+    privileges = collect_privileges(reports)
     context = RuleContext(
         path=path,
         summary=summary,
         reports=reports,
         unused_specs=inferencer.unused_specs(),
+        dataflow=dataflow,
+        privileges=privileges,
+        strict_pools=strict_pools,
     )
     raw: List[Finding] = []
     seen: Set[Tuple[str, int, int, str]] = set()
@@ -122,30 +156,42 @@ def check_source(
             raw.append(finding)
     kept, suppressed = filter_suppressed(raw, source.splitlines())
     kept.sort(key=Finding.sort_key)
-    return kept, suppressed
+    return kept, suppressed, privileges
 
 
 def check_file(
-    path: str, rules: Optional[Sequence[Rule]] = None
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    strict_pools: bool = False,
 ) -> CheckResult:
     """Check one file on disk."""
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
-    findings, suppressed = check_source(path, source, rules)
+    findings, suppressed, privileges = _check_source(
+        path, source, rules, strict_pools
+    )
     return CheckResult(
-        findings=findings, files_checked=1, suppressed=suppressed
+        findings=findings,
+        files_checked=1,
+        suppressed=suppressed,
+        privileges=privileges,
     )
 
 
 def run_check(
-    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    strict_pools: bool = False,
 ) -> CheckResult:
     """Check every ``.py`` file under ``paths`` and aggregate."""
     result = CheckResult()
+    privilege_maps = []
     for path in iter_python_files(paths):
-        single = check_file(path, rules)
+        single = check_file(path, rules, strict_pools)
         result.findings.extend(single.findings)
         result.files_checked += 1
         result.suppressed += single.suppressed
+        privilege_maps.append(single.privileges)
+    result.privileges = merge_privileges(privilege_maps)
     result.findings.sort(key=Finding.sort_key)
     return result

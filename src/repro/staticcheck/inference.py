@@ -160,6 +160,18 @@ class PartitionInferencer:
             reports[qualname] = self._infer_function(trace)
         return reports
 
+    def resolve_event(
+        self, event: CallEvent
+    ) -> Union[ApiVerdict, ResolutionFailure, None]:
+        """Public resolution entry point for the dataflow pass.
+
+        Both passes must agree on what a call site *is* — same registry,
+        same in-file specs, same declared fallbacks — so the taint
+        analysis resolves through the inferencer instead of duplicating
+        the lookup order.
+        """
+        return self._resolve(event)
+
     def unused_specs(self) -> List[LocalSpec]:
         """In-file API specs never referenced by any call site.
 

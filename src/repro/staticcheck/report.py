@@ -47,9 +47,17 @@ class Finding:
         """``path:line:col`` for reporters and stable sorting."""
         return f"{self.path}:{self.line}:{self.col}"
 
-    def sort_key(self) -> Tuple[str, int, int, str]:
-        """Deterministic reporting order."""
-        return (self.path, self.line, self.col, self.rule)
+    def sort_key(self) -> Tuple[str, int, int, str, str, str]:
+        """Deterministic reporting order — a *total* order.
+
+        File, line, rule id first (what a reader scans by), then message
+        and function so two findings of the same rule on the same line
+        still order identically run to run.
+        """
+        return (
+            self.path, self.line, self.col, self.rule,
+            self.message, self.function or "",
+        )
 
 
 #: ``# repro: ignore`` or ``# repro: ignore[rule-a, rule-b]``.
@@ -61,19 +69,26 @@ _SUPPRESS_RE = re.compile(
 def suppressions_on(source_line: str) -> Optional[FrozenSet[str]]:
     """The rules a source line suppresses.
 
-    ``None`` means the line has no suppression comment; an *empty*
-    frozenset means a bare ``# repro: ignore`` that silences every rule;
-    otherwise the named rules.
+    ``None`` means the line suppresses nothing; an *empty* frozenset
+    means a bare ``# repro: ignore`` that silences every rule; otherwise
+    the union of the rules named across every ``ignore[...]`` group on
+    the line.  ``ignore[]`` with empty brackets names no rules and so
+    suppresses nothing — it is not a bare ignore.
     """
-    match = _SUPPRESS_RE.search(source_line)
-    if match is None:
+    matches = list(_SUPPRESS_RE.finditer(source_line))
+    if not matches:
         return None
-    rules = match.group("rules")
-    if rules is None:
-        return frozenset()
-    return frozenset(
-        part.strip() for part in rules.split(",") if part.strip()
-    )
+    named: set = set()
+    for match in matches:
+        rules = match.group("rules")
+        if rules is None:
+            return frozenset()
+        named.update(
+            part.strip() for part in rules.split(",") if part.strip()
+        )
+    if not named:
+        return None
+    return frozenset(named)
 
 
 def filter_suppressed(

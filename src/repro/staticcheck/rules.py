@@ -15,9 +15,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.apitypes import APIType
-from repro.frameworks.syscall_pools import INIT_ONLY_SYSCALLS, pool_for
+from repro.frameworks.syscall_pools import pool_for
 from repro.staticcheck.callgraph import LocalSpec, ModuleSummary, ValueKind
+from repro.staticcheck.dataflow import DataflowReport
 from repro.staticcheck.inference import FunctionReport
+from repro.staticcheck.privileges import AgentPrivilege, pool_excess
 from repro.staticcheck.report import Finding, Severity
 
 
@@ -29,6 +31,12 @@ class RuleContext:
     summary: ModuleSummary
     reports: Dict[str, FunctionReport]
     unused_specs: List[LocalSpec] = field(default_factory=list)
+    #: The interprocedural flow pass (None only if construction failed).
+    dataflow: Optional[DataflowReport] = None
+    #: Per-agent minimal privilege sets inferred from the plans.
+    privileges: Dict[str, AgentPrivilege] = field(default_factory=dict)
+    #: Opt-in gate for the advisory over-privileged-pool findings.
+    strict_pools: bool = False
 
 
 class Rule:
@@ -148,13 +156,10 @@ class SyscallPoolRule(Rule):
         seen: set = set()
         for qualname, report in context.reports.items():
             for step in report.steps:
-                pool = pool_for(step.effective_type)
-                if pool is None:
-                    continue
-                extra = sorted(set(step.verdict.syscalls) - pool)
-                extra_init = sorted(
-                    set(step.verdict.init_syscalls)
-                    - pool - INIT_ONLY_SYSCALLS
+                # One resolution path with the minimal-set inference:
+                # the same membership check feeds over-privilege diffs.
+                extra, extra_init = pool_excess(
+                    step.verdict, step.effective_type
                 )
                 key = (step.event.line, step.event.col,
                        tuple(extra), tuple(extra_init))
@@ -289,6 +294,147 @@ class TenantRefLeakRule(Rule):
                 )
 
 
+class CrossPartitionLeakRule(Rule):
+    """A value produced in one partition crosses into another's API.
+
+    The flow pass tracks partition provenance through assignments,
+    containers, helper calls, and derivations; a *materialized* value
+    (host copy of agent data) handed to an API that executes in a
+    different agent moves one partition's data into another without an
+    LDC transfer — exactly the cross-compartment leakage partitioning is
+    supposed to prevent.
+    """
+
+    id = "cross-partition-leak"
+    severity = Severity.ERROR
+    description = "agent-produced value crosses into another partition"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        if context.dataflow is None:
+            return
+        # Direct materialized args are already the per-site
+        # wrong-partition-deref rule's evidence; the flow rule owns the
+        # indirect paths that rule cannot see (aliases, containers,
+        # helper returns, derivations).
+        direct: set = set()
+        for report in context.reports.values():
+            for step in report.steps:
+                for name in step.event.materialized_args:
+                    direct.add((step.event.line, step.event.col, name))
+        for hit in context.dataflow.leaks:
+            if (hit.line, hit.col, hit.value) in direct:
+                continue
+            produced = ", ".join(hit.produced_in)
+            yield self.finding(
+                context, hit.line, hit.col,
+                f"value '{hit.value}' produced in the '{produced}' "
+                f"partition is passed into {hit.api}, which runs in the "
+                f"'{hit.consumed_in}' agent — keep it as an ObjectRef so "
+                "the LDC transfer stays in-partition",
+                function=hit.function,
+            )
+
+
+class TenantTaintEscapeRule(Rule):
+    """Tenant-derived data reaching a shared or host sink.
+
+    The tenant-ref-leak rule covers parked ObjectRefs; this covers the
+    *data*: a value materialized (or derived from one) inside a
+    tenant-scoped flow that lands in module/self/global state or a host
+    buffer outlives the request and is visible to every other tenant.
+    """
+
+    id = "tenant-taint-escape"
+    severity = Severity.ERROR
+    description = "tenant-derived data reaches a shared or host sink"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        if context.dataflow is None:
+            return
+        for hit in context.dataflow.escapes:
+            if hit.sink == "host":
+                yield self.finding(
+                    context, hit.line, hit.col,
+                    f"tenant-derived data written into {hit.target} — "
+                    "host buffers outlive the request and are readable "
+                    "from every tenant's flow",
+                    function=hit.function,
+                )
+            else:
+                yield self.finding(
+                    context, hit.line, hit.col,
+                    f"tenant-derived data stored into shared state "
+                    f"'{hit.target}' — it outlives the request and "
+                    "leaks across tenant scopes",
+                    function=hit.function,
+                )
+
+
+class FrozenAliasWriteRule(Rule):
+    """A host_write through a string alias of a frozen tag.
+
+    The per-site frozen-write rule only sees literal (or module
+    constant) tag arguments; a tag reaching the write through a local
+    variable dodges it while still faulting at runtime.  The flow pass
+    resolves local string aliases and replays the same freeze machine.
+    """
+
+    id = "frozen-alias-write"
+    severity = Severity.ERROR
+    description = "aliased host_write targets a frozen tag"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        if context.dataflow is None:
+            return
+        for hit in context.dataflow.alias_writes:
+            yield self.finding(
+                context, hit.line, hit.col,
+                f"host_write through alias '{hit.alias}' targets tag "
+                f"'{hit.tag}', frozen since the framework left "
+                f"{hit.alloc_state.value} (write happens in "
+                f"{hit.write_state.value}) — the per-site check cannot "
+                "see this alias; re-allocate with host_alloc",
+                function=hit.function,
+            )
+
+
+class OverPrivilegedPoolRule(Rule):
+    """A configured pool grants syscalls no resolved API requires.
+
+    Advisory and opt-in (``--strict-pools``): the Table 7 pools are the
+    paper's sound default, but a pipeline using a fraction of a pool
+    carries attack surface it never needs.  The finding anchors at the
+    first site placed in the agent; ``--emit-minimal-pools`` prints the
+    tightened spec.
+    """
+
+    id = "over-privileged-pool"
+    severity = Severity.WARNING
+    description = "agent pool grants syscalls no resolved API declares"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        if not context.strict_pools:
+            return
+        for label in sorted(context.privileges):
+            privilege = context.privileges[label]
+            if privilege.sites == 0:
+                continue
+            surplus = privilege.pool_surplus()
+            if not surplus:
+                continue
+            pool = pool_for(privilege.api_type) or frozenset()
+            preview = ", ".join(surplus[:4])
+            if len(surplus) > 4:
+                preview += ", ..."
+            line, col = privilege.anchor
+            yield self.finding(
+                context, line, col,
+                f"the '{label}' agent's pool grants {len(surplus)} of "
+                f"{len(pool)} syscalls that no resolved API declares "
+                f"({preview}) — tighten with --emit-minimal-pools",
+            )
+
+
 #: Registry of every verifier rule, in reporting order.
 ALL_RULES: Tuple[Rule, ...] = (
     FrozenWriteRule(),
@@ -298,6 +444,10 @@ ALL_RULES: Tuple[Rule, ...] = (
     DeadApiRule(),
     UncategorizableRule(),
     TenantRefLeakRule(),
+    CrossPartitionLeakRule(),
+    TenantTaintEscapeRule(),
+    FrozenAliasWriteRule(),
+    OverPrivilegedPoolRule(),
 )
 
 

@@ -186,6 +186,56 @@ def test_suppression_comment_parsing():
     ) == frozenset({"frozen-write", "phase-order"})
 
 
+def test_empty_bracket_ignore_suppresses_nothing():
+    # `ignore[]` names no rules — it must not act like a bare ignore.
+    assert suppressions_on("x = 1  # repro: ignore[]") is None
+    assert suppressions_on("x = 1  # repro: ignore[ , ]") is None
+    source = (
+        "def pipeline(gateway):\n"
+        "    gateway.call('opencv', 'no_such_api')  # repro: ignore[]\n"
+    )
+    findings, suppressed = check_source("empty.py", source)
+    assert suppressed == 0
+    assert {f.rule for f in findings} == {"dead-api"}
+
+
+def test_multiple_ignore_groups_union_per_line():
+    line = (
+        "x = 1  # repro: ignore[frozen-write]  # repro: ignore[dead-api]"
+    )
+    assert suppressions_on(line) == frozenset(
+        {"frozen-write", "dead-api"}
+    )
+    # A bare ignore anywhere on the line still silences everything.
+    assert suppressions_on(
+        "x = 1  # repro: ignore  # repro: ignore[dead-api]"
+    ) == frozenset()
+
+
+def test_finding_sort_key_is_a_total_order():
+    from repro.staticcheck.report import Finding
+
+    first = Finding(
+        rule="dead-api", severity=Severity.ERROR, path="a.py",
+        line=3, col=0, message="alpha",
+    )
+    second = Finding(
+        rule="dead-api", severity=Severity.ERROR, path="a.py",
+        line=3, col=0, message="beta",
+    )
+    assert sorted(
+        [second, first], key=Finding.sort_key
+    ) == [first, second]
+    # Same everything except function: still deterministic.
+    third = Finding(
+        rule="dead-api", severity=Severity.ERROR, path="a.py",
+        line=3, col=0, message="beta", function="pipeline",
+    )
+    assert sorted(
+        [third, second], key=Finding.sort_key
+    ) == [second, third]
+
+
 def test_rule_specific_suppression_keeps_other_rules():
     source = (
         "def pipeline(gateway):\n"
@@ -252,5 +302,6 @@ def test_rule_ids_are_stable():
     assert rule_ids() == (
         "frozen-write", "phase-order", "syscall-pool",
         "wrong-partition-deref", "dead-api", "uncategorizable",
-        "tenant-ref-leak",
+        "tenant-ref-leak", "cross-partition-leak", "tenant-taint-escape",
+        "frozen-alias-write", "over-privileged-pool",
     )

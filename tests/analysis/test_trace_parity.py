@@ -1,0 +1,104 @@
+"""Static↔trace parity: runtime behavior stays inside the predicted
+universe for every catalog app, and violations are actually caught."""
+
+import pytest
+
+from repro.apps.base import Workload, execute_app
+from repro.apps.drone import DroneApp
+from repro.apps.suite import SAMPLE_IDS, make_app
+from repro.attacks.scenarios import build_gateway
+from repro.core.runtime import FreePartConfig
+from repro.obs.export import to_chrome_trace, trace_runtime_touches
+from repro.sim.kernel import SimKernel
+from repro.staticcheck.parity import (
+    PARITY_RULE,
+    StaticUniverse,
+    check_trace_parity,
+    universe_from_app,
+)
+
+WORKLOAD = Workload(items=2, image_size=16)
+
+
+def traced_run(app):
+    """One traced FreePart run of an app; returns the Chrome payload."""
+    kernel = SimKernel()
+    kernel.enable_tracing()
+    config = FreePartConfig(trace=True, annotations=tuple(app.annotations))
+    gateway = build_gateway("freepart", kernel, app=app, config=config)
+    workload = Workload(items=WORKLOAD.items, image_size=WORKLOAD.image_size)
+    execute_app(app, gateway, workload)
+    return to_chrome_trace(kernel.tracer)
+
+
+# -- the acceptance gate: every catalog app passes parity ---------------
+
+@pytest.mark.parametrize("sample_id", SAMPLE_IDS)
+def test_catalog_app_trace_stays_inside_static_universe(sample_id):
+    app = make_app(sample_id)
+    payload = traced_run(app)
+    universe = universe_from_app(app)
+    findings = check_trace_parity(universe, payload, "trace.json")
+    assert findings == [], [f.message for f in findings]
+
+
+def test_drone_app_trace_stays_inside_static_universe():
+    app = DroneApp()
+    payload = traced_run(app)
+    findings = check_trace_parity(
+        universe_from_app(app), payload, "trace.json"
+    )
+    assert findings == [], [f.message for f in findings]
+
+
+# -- violations are detected, not defined away --------------------------
+
+def test_empty_universe_flags_every_touch():
+    payload = traced_run(make_app(8))
+    findings = check_trace_parity(StaticUniverse(), payload, "t.json")
+    assert findings
+    assert all(f.rule == PARITY_RULE for f in findings)
+    messages = "\n".join(f.message for f in findings)
+    assert "deemed unreachable" in messages
+    assert "placed none" in messages
+
+
+def test_missing_syscall_budget_is_flagged_per_syscall():
+    app = make_app(8)
+    payload = traced_run(app)
+    universe = universe_from_app(app)
+    # Remove one syscall the loading agent demonstrably uses.
+    universe.agent_syscalls["data_loading"].discard("openat")
+    findings = check_trace_parity(universe, payload, "t.json")
+    assert any(
+        "'openat' outside its statically inferred minimal budget"
+        in f.message
+        for f in findings
+    )
+
+
+def test_unpredicted_partition_edge_is_flagged():
+    app = make_app(8)
+    payload = traced_run(app)
+    universe = universe_from_app(app)
+    touches = trace_runtime_touches(payload)
+    victim = sorted(touches.agents_by_pid.values())[0]
+    universe.agents.discard(victim)
+    findings = check_trace_parity(universe, payload, "t.json")
+    assert any(
+        "crossed partition edge" in f.message and victim in f.message
+        for f in findings
+    )
+
+
+# -- the trace scanner itself -------------------------------------------
+
+def test_runtime_touches_extracts_apis_agents_and_edges():
+    payload = traced_run(make_app(8))
+    touches = trace_runtime_touches(payload)
+    assert any(api.startswith("opencv.") for api in touches.apis)
+    assert touches.agents_by_pid
+    assert touches.syscalls_by_agent
+    for source, target in touches.edges:
+        assert source != target
+        assert source in touches.agents_by_pid.values()

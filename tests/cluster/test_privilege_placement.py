@@ -1,0 +1,87 @@
+"""Privilege-aware placement: exposure scoring and affinity interplay."""
+
+import pytest
+
+from repro.core.apitypes import APIType
+from repro.errors import PlacementError
+from repro.cluster.placement import (
+    exposure_by_node,
+    privilege_placement,
+)
+from repro.staticcheck.privileges import AgentPrivilege, privileges_for_app
+
+
+def privilege(label, api_type, syscalls):
+    return AgentPrivilege(
+        label=label, api_type=api_type, syscalls=set(syscalls)
+    )
+
+
+THREE = {
+    "data_loading": privilege(
+        "data_loading", APIType.LOADING, {"openat", "read", "brk"}
+    ),
+    "data_processing": privilege(
+        "data_processing", APIType.PROCESSING, {"brk", "mmap"}
+    ),
+    "visualizing": privilege(
+        "visualizing", APIType.VISUALIZING, {"write", "poll"}
+    ),
+}
+
+
+def test_single_node_gets_everything():
+    placement = privilege_placement(THREE, 1)
+    assert placement.nodes_used() == [0]
+
+
+def test_spreading_lowers_worst_node_exposure():
+    one = privilege_placement(THREE, 1)
+    two = privilege_placement(THREE, 2)
+    exposure_one = exposure_by_node(one, THREE)
+    exposure_two = exposure_by_node(two, THREE)
+    assert max(exposure_two.values()) < max(exposure_one.values())
+    assert len(two.nodes_used()) == 2
+
+
+def test_placement_is_deterministic():
+    first = privilege_placement(THREE, 2)
+    second = privilege_placement(dict(reversed(THREE.items())), 2)
+    assert first.assignments == second.assignments
+
+
+def test_affinity_group_stays_whole():
+    group = frozenset({"data_loading", "visualizing"})
+    placement = privilege_placement(THREE, 2, groups=[group])
+    assert (
+        placement.node_for("data_loading")
+        == placement.node_for("visualizing")
+    )
+
+
+def test_rejects_zero_nodes():
+    with pytest.raises(PlacementError):
+        privilege_placement(THREE, 0)
+
+
+def test_exposure_counts_budget_unions_not_sums():
+    # Overlapping budgets on one node must not double-count.
+    overlapping = {
+        "a": privilege("a", APIType.PROCESSING, {"brk", "mmap"}),
+        "b": privilege("b", APIType.PROCESSING, {"brk", "mmap"}),
+    }
+    placement = privilege_placement(overlapping, 1)
+    exposure = exposure_by_node(placement, overlapping)
+    # brk + mmap + the init grace syscalls, once each.
+    assert exposure[0] == 4
+
+
+def test_app_inferred_privileges_drive_placement():
+    from repro.apps.suite import make_app
+
+    privileges = privileges_for_app(make_app(8))
+    assert len(privileges) >= 2
+    placement = privilege_placement(privileges, 2)
+    exposure = exposure_by_node(placement, privileges)
+    assert set(placement.to_dict()) == set(privileges)
+    assert sum(1 for _ in exposure) == len(placement.nodes_used())

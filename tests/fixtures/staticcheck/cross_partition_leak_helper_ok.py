@@ -1,0 +1,19 @@
+"""Fixture: a handle flowing through a helper is not a leak.
+
+The helper forwards the ObjectRef unchanged; the payload never
+materializes in the host, so every deref stays inside the partition
+that owns the data.
+"""
+
+
+def annotate(edges):
+    """Identity transform standing in for host-side bookkeeping."""
+    return edges
+
+
+def pipeline(gateway):
+    """Reference in, reference out, deref in-partition."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    edges = gateway.call("opencv", "Canny", image)
+    result = annotate(edges)
+    return gateway.call("opencv", "imwrite", "/data/out.png", result)

@@ -1,0 +1,20 @@
+"""Fixture: materialized payload crosses partitions through a helper.
+
+``normalize`` is a plain module-local function — it never touches the
+gateway, so the per-site checks cannot connect its return value to the
+materialized input.  The flow pass inlines it and sees the
+loading-partition copy arrive at a processing-agent call.
+"""
+
+
+def normalize(pixels):
+    """Identity transform standing in for host-side post-processing."""
+    return pixels
+
+
+def pipeline(gateway):
+    """Materialize, wash through a helper, feed another partition."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    pixels = gateway.materialize(image)
+    scaled = normalize(pixels)
+    return gateway.call("opencv", "Canny", scaled)

@@ -1,0 +1,13 @@
+"""Fixture: an ObjectRef crossing partitions via a container is fine.
+
+Same shape as the violating twin but no ``materialize`` — the handle
+travels through the list, and the LDC deref happens inside the
+processing agent that consumes it.  Nothing leaves its partition.
+"""
+
+
+def pipeline(gateway):
+    """Pass the reference, not the payload."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    batch = [image]
+    return gateway.call("opencv", "Canny", batch[0])

@@ -1,0 +1,16 @@
+"""Fixture: materialized payload crosses partitions via a container.
+
+``pixels`` is a full host copy of the loading agent's data; parking it
+in a list and indexing it back out hides the provenance from the
+per-site deref check, but the flow pass tracks taint through the
+container — handing the copy to ``Canny`` ships loading-partition data
+into the processing agent.
+"""
+
+
+def pipeline(gateway):
+    """Materialize in the host, launder through a list, leak to Canny."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    pixels = gateway.materialize(image)
+    batch = [pixels]
+    return gateway.call("opencv", "Canny", batch[0])

@@ -1,0 +1,23 @@
+"""Fixture: aliased host write to a *re-allocated* tag is fine.
+
+Re-allocation is the sanctioned way to carry a buffer across phases:
+``host_alloc`` in the loading phase rebinds ``scores`` to a fresh
+writable buffer, so the later aliased write targets unfrozen memory —
+exactly what the runtime permits.
+"""
+
+from repro.sim.memory import MemoryLayout
+
+ANNOTATIONS = (
+    MemoryLayout(name="scores", tag="scores", nbytes=64),
+)
+
+
+def pipeline(gateway):
+    """Re-alloc after the phase transition, then write through the alias."""
+    gateway.host_alloc("scores", [0.0] * 8)
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    gateway.host_alloc("scores", [0.0] * 8)
+    tag = "scores"
+    gateway.host_write(tag, [1.0] * 8)
+    return image

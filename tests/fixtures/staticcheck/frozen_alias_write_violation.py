@@ -1,0 +1,25 @@
+"""Fixture: host write to a frozen tag through a string alias (violates).
+
+``scores`` is annotated and frozen when the imread call leaves
+initialization — but the write names the tag through a local variable,
+so the per-site frozen-write check (which only resolves literal or
+module-constant tags) never sees it.  The flow pass resolves the local
+string alias and replays the same freeze machine; the runtime would
+SIGSEGV on this write exactly as if the tag were literal.
+"""
+
+from repro.sim.memory import MemoryLayout
+
+ANNOTATIONS = (
+    MemoryLayout(name="scores", tag="scores", nbytes=64),
+)
+
+
+def pipeline(gateway):
+    """Alloc during initialization, write through an alias after moving on."""
+    gateway.host_alloc("scores", [0.0] * 8)
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    edges = gateway.call("opencv", "Canny", image)
+    tag = "scores"
+    gateway.host_write(tag, [1.0] * 8)
+    return edges

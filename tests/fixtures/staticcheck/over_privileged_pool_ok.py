@@ -1,0 +1,28 @@
+"""Fixture: an agent whose APIs cover its entire pool (strict mode ok).
+
+``dense.transform`` declares every syscall in the processing pool, so
+the minimal allowlist *is* the pool — there is no surplus to flag even
+under ``--strict-pools``.
+"""
+
+from repro.core.apitypes import APIType
+from repro.frameworks.base import APISpec, Framework
+
+DENSE = Framework("dense", version="0.1")
+DENSE.register(APISpec(
+    name="transform",
+    framework="dense",
+    qualname="dense.transform",
+    ground_truth=APIType.PROCESSING,
+    syscalls=(
+        "brk", "clock_gettime", "close", "fstat", "futex", "getcwd",
+        "getpid", "getrandom", "gettimeofday", "lseek", "madvise",
+        "mmap", "mremap", "munmap", "open", "openat", "prlimit64",
+        "read", "sched_getaffinity", "sched_yield", "sysinfo", "times",
+    ),
+))
+
+
+def pipeline(gateway):
+    """One processing call that genuinely needs its whole pool."""
+    return gateway.call("dense", "transform", [1.0])

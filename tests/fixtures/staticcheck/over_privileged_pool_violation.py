@@ -1,0 +1,14 @@
+"""Fixture: agents using a sliver of their Table 7 pools (strict mode).
+
+Both resolved APIs declare a handful of syscalls, yet the default
+filters widen to the full loading/processing pools — dozens of grantable
+syscalls no API here will ever issue.  ``repro check --strict-pools``
+flags the surplus; the default run stays silent because the pools are
+the paper's sound baseline.
+"""
+
+
+def pipeline(gateway):
+    """Two-stage pipeline needing far fewer syscalls than its pools."""
+    image = gateway.call("opencv", "imread", "/data/in.png")
+    return gateway.call("opencv", "GaussianBlur", image)

@@ -1,0 +1,15 @@
+"""Fixture: tenant-derived data kept in request-local state is fine.
+
+Identical flow to the violating twin, but the dict is a local — it dies
+with the request, so the materialized tenant payload never becomes
+visible outside the tenant's own scope.
+"""
+
+
+def handle_request(gateway, tenant_id, path):
+    """Per-tenant handler with request-scoped bookkeeping."""
+    image = gateway.call("opencv", "imread", path)
+    pixels = gateway.materialize(image)
+    local_stats = {}
+    local_stats[tenant_id] = pixels
+    return pixels

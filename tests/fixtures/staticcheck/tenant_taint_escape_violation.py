@@ -1,0 +1,17 @@
+"""Fixture: tenant-derived *data* stored into module state (violates).
+
+The tenant-ref-leak rule guards parked ObjectRefs; this is the data
+variant: ``pixels`` is a materialized copy produced inside a
+tenant-scoped request flow, and ``STATS`` is module-level — the copy
+outlives the request and every other tenant's handler can read it.
+"""
+
+STATS = {}
+
+
+def handle_request(gateway, tenant_id, path):
+    """Per-tenant handler that caches tenant payloads globally (bad)."""
+    image = gateway.call("opencv", "imread", path)
+    pixels = gateway.materialize(image)
+    STATS[tenant_id] = pixels
+    return pixels

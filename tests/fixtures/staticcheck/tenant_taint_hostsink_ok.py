@@ -1,0 +1,14 @@
+"""Fixture: the same host-buffer write outside a tenant scope is fine.
+
+No tenant parameter means no tenant-scoped flow — the pipeline owns all
+its data, and staging a materialized copy in a host buffer is ordinary
+(if copy-heavy) single-tenant processing.
+"""
+
+
+def pipeline(gateway, path):
+    """Single-tenant pipeline staging a copy in a host buffer."""
+    image = gateway.call("opencv", "imread", path)
+    pixels = gateway.materialize(image)
+    gateway.host_alloc("cache", pixels)
+    return pixels

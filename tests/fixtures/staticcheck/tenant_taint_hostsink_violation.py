@@ -1,0 +1,14 @@
+"""Fixture: tenant-derived data written into a host buffer (violates).
+
+Host buffers are shared process state: they survive the request and are
+reachable from every flow the host program runs.  Seeding one with a
+materialized tenant payload publishes that tenant's data to all others.
+"""
+
+
+def handle_request(gateway, tenant_id, path):
+    """Per-tenant handler that parks the payload in a host buffer."""
+    image = gateway.call("opencv", "imread", path)
+    pixels = gateway.materialize(image)
+    gateway.host_alloc("cache", pixels)
+    return pixels
