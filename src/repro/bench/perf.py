@@ -30,7 +30,9 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 SCHEMA = "freepart-bench/v1"
-BENCH_NAMES = ("table9", "serve", "ldc", "cluster", "staticcheck")
+BENCH_NAMES = (
+    "table9", "serve", "ldc", "cluster", "staticcheck", "obs_report"
+)
 DEFAULT_TOLERANCE = 0.05
 
 _DIRECTIONS = ("lower", "higher")
@@ -333,12 +335,104 @@ def bench_staticcheck() -> Dict[str, Any]:
     }
 
 
+def bench_obs_report() -> Dict[str, Any]:
+    """The observability control plane as a trajectory.
+
+    ``clean_alerts`` gates at a 0 baseline with direction ``lower``:
+    a clean serving run must never trip a burn-rate alert, so *any*
+    alert creeping in trips the gate regardless of tolerance.
+    ``chaos_alerting_schedules`` gates with direction ``higher``: the
+    fixed faulted sweep must keep tripping alerts — losing them means
+    request failures stopped reaching the SLO engine.
+    """
+    import numpy as np
+
+    from repro.core.runtime import FreePartConfig
+    from repro.faults.campaign import ChaosSettings, run_target
+    from repro.faults.plan import FaultPlan, FaultRates
+    from repro.obs.report import build_report, render_report_json
+    from repro.obs.slo import evaluate_slos
+    from repro.serve.bench import standard_pipeline
+    from repro.serve.server import PipelineServer
+    from repro.sim.kernel import SimKernel
+
+    # Clean traced serving run -> full report artifact.
+    server = PipelineServer(
+        kernel=SimKernel(),
+        config=FreePartConfig(trace=True),
+        pool_size=2,
+        batching=True,
+    )
+    rng = np.random.default_rng(0)
+    for tenant in range(2):
+        for index in range(2):
+            path = f"/data/tenant-{tenant}/in-{index}.png"
+            server.kernel.fs.write_file(path, rng.normal(size=(16, 16)))
+            server.submit(
+                f"tenant-{tenant}",
+                standard_pipeline(
+                    path, f"/out/tenant-{tenant}/out-{index}.png"
+                ),
+            )
+    server.drain()
+    server.shutdown()
+    kernel = server.kernel
+    report = build_report(
+        "serve-bench", "serve",
+        nodes=[("node0", kernel.tracer, kernel.clock.now_ns)],
+        events=server.events,
+        series=kernel.series,
+    )
+    clean_alerts = report["slo"]["alert_count"]
+    report_bytes = len(render_report_json(report).encode("utf-8"))
+
+    # Fixed faulted sweep: some schedules must exhaust their retries
+    # and trip burn-rate alerts.
+    settings = ChaosSettings(
+        target="serve-bench", seed=11, campaign=5, fault_rate=0.2
+    )
+    rates = FaultRates.scaled(settings.fault_rate)
+    alerting_schedules = 0
+    chaos_alerts = 0
+    for index in range(settings.campaign):
+        plan = FaultPlan(settings.schedule_seed(index), rates)
+        outcome = run_target("serve-bench", settings, plan)
+        results = evaluate_slos(outcome.request_events)
+        fired = sum(len(result.alerts) for result in results)
+        chaos_alerts += fired
+        if fired:
+            alerting_schedules += 1
+
+    return {
+        "schema": SCHEMA,
+        "bench": "obs_report",
+        "metrics": {
+            "clean_alerts": _metric(clean_alerts, "lower"),
+            "chaos_alerting_schedules": _metric(
+                alerting_schedules, "higher"
+            ),
+            "series_points": _metric(kernel.series.points, "higher"),
+            "report_bytes": _metric(report_bytes, "lower"),
+        },
+        "details": {
+            "requests": report["slo"]["requests"],
+            "all_met": report["slo"]["all_met"],
+            "critical_path_ns": report["critical_path"]["total_ns"],
+            "chaos_alerts": chaos_alerts,
+            "chaos_seed": settings.seed,
+            "chaos_campaign": settings.campaign,
+            "chaos_fault_rate": settings.fault_rate,
+        },
+    }
+
+
 _BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "table9": bench_table9,
     "serve": bench_serve,
     "ldc": bench_ldc,
     "cluster": bench_cluster,
     "staticcheck": bench_staticcheck,
+    "obs_report": bench_obs_report,
 }
 
 

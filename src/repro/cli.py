@@ -264,7 +264,11 @@ def _trace_cve_target(args: argparse.Namespace):
 
 
 def _trace_serve_target(args: argparse.Namespace):
-    """Run a small multi-tenant serving workload with tracing on."""
+    """Run a small multi-tenant serving workload with tracing on.
+
+    Returns the (shut-down) server; its kernel holds the trace, the
+    series registry, and the per-request SLO events.
+    """
     import numpy as np
 
     from repro.core.runtime import FreePartConfig
@@ -290,9 +294,8 @@ def _trace_serve_target(args: argparse.Namespace):
                 standard_pipeline(path, f"/out/tenant-{t}/out-{r}.png"),
             )
     server.drain()
-    kernel = server.kernel
     server.shutdown()
-    return kernel
+    return server
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -301,7 +304,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.export import render_rollup, render_tree, to_chrome_trace
 
     if args.target == "serve-bench":
-        kernel = _trace_serve_target(args)
+        kernel = _trace_serve_target(args).kernel
     elif args.target.upper().startswith("CVE-"):
         kernel = _trace_cve_target(args)
     elif args.target.isdigit() or args.target in ("drone", "drone-tracker"):
@@ -326,6 +329,218 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(render_tree(tracer))
     if args.rollup or not (args.out or args.tree):
         print(render_rollup(tracer, total_ns))
+    return 0
+
+
+def _report_cluster_target(args: argparse.Namespace):
+    """Run a clean sharded multi-node serving workload with tracing on."""
+    import numpy as np
+
+    from repro.cluster.kernel import ClusterKernel
+    from repro.cluster.serve import ClusterServer
+    from repro.cluster.sharding import DirectoryPartitioner
+    from repro.core.runtime import FreePartConfig
+    from repro.serve.bench import standard_pipeline
+
+    cluster = ClusterKernel(nodes=args.nodes)
+    cluster.enable_tracing()
+    server = ClusterServer(
+        cluster=cluster,
+        config=FreePartConfig(trace=True),
+        pool_size=2,
+        batching=True,
+    )
+    tenants = 2 * args.nodes
+    rng = np.random.default_rng(0)
+    paths = []
+    payloads = {}
+    for tenant in range(tenants):
+        for index in range(args.items):
+            path = f"/data/tenant-{tenant}/in-{index}.png"
+            paths.append(path)
+            payloads[path] = rng.normal(
+                size=(args.image_size, args.image_size)
+            )
+    manifest = DirectoryPartitioner().split(paths)
+    server.load_dataset(manifest, payloads)
+    for tenant in range(tenants):
+        server.pin_tenant_to_item(
+            f"tenant-{tenant}", f"/data/tenant-{tenant}/in-0.png"
+        )
+    for tenant in range(tenants):
+        for index in range(args.items):
+            server.submit(
+                f"tenant-{tenant}",
+                standard_pipeline(
+                    f"/data/tenant-{tenant}/in-{index}.png",
+                    f"/out/tenant-{tenant}/out-{index}.png",
+                ),
+            )
+    server.drain()
+    server.shutdown()
+    return server
+
+
+def _report_chaos_extra(args: argparse.Namespace):
+    """SLO-evaluate every faulted schedule of a small chaos sweep."""
+    from repro.faults.campaign import ChaosSettings, run_target
+    from repro.faults.plan import FaultPlan, FaultRates
+    from repro.obs.slo import evaluate_slos
+
+    settings = ChaosSettings(
+        target=args.chaos_target,
+        seed=args.seed,
+        campaign=args.campaign,
+        fault_rate=args.fault_rate,
+        items=args.items,
+        image_size=args.image_size,
+        nodes=args.nodes,
+    )
+    rates = FaultRates.scaled(settings.fault_rate)
+    schedules = []
+    alerting = 0
+    for index in range(settings.campaign):
+        seed = settings.schedule_seed(index)
+        plan = FaultPlan(seed, rates)
+        outcome = run_target(settings.target, settings, plan)
+        results = evaluate_slos(outcome.request_events)
+        alert_count = sum(len(result.alerts) for result in results)
+        if alert_count:
+            alerting += 1
+        schedules.append({
+            "index": index,
+            "seed": seed,
+            "ok": outcome.ok,
+            "requests": len(outcome.request_events),
+            "errors": sum(
+                1 for event in outcome.request_events if not event.ok
+            ),
+            "alert_count": alert_count,
+            "alerts": [
+                alert.to_dict()
+                for result in results
+                for alert in result.alerts
+            ],
+        })
+    return {
+        "target": settings.target,
+        "seed": settings.seed,
+        "campaign": settings.campaign,
+        "fault_rate": settings.fault_rate,
+        "alerting_schedules": alerting,
+        "schedules": schedules,
+    }
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import (
+        build_report,
+        render_report_json,
+        render_report_markdown,
+    )
+
+    for flag, value in (("--items", args.items),
+                        ("--image-size", args.image_size),
+                        ("--nodes", args.nodes),
+                        ("--campaign", args.campaign)):
+        if value < 1:
+            raise CliUsageError(f"{flag} must be >= 1, got {value}")
+    if args.fault_rate < 0:
+        raise CliUsageError(
+            f"--fault-rate must be >= 0, got {args.fault_rate}"
+        )
+
+    extra = None
+    if args.target == "serve-bench":
+        server = _trace_serve_target(args)
+        kernel = server.kernel
+        nodes = [("node0", kernel.tracer, kernel.clock.now_ns)]
+        events = list(server.events)
+        series = kernel.series
+        mode = "serve"
+    elif args.target == "cluster-bench":
+        server = _report_cluster_target(args)
+        cluster = server.cluster
+        nodes = [
+            (f"node{node.index}", node.kernel.tracer,
+             node.kernel.clock.now_ns)
+            for node in cluster.nodes
+        ]
+        events = [
+            event
+            for node_server in server.servers.values()
+            for event in node_server.events
+        ]
+        from repro.obs.timeseries import TimeSeriesRegistry
+
+        series = TimeSeriesRegistry.merged(
+            node.kernel.series for node in cluster.nodes
+        )
+        mode = "cluster"
+    elif args.target == "chaos":
+        # Clean traced baseline of the chaos target for the report body;
+        # the faulted sweep's per-schedule SLO verdicts ride in `extra`.
+        if args.chaos_target == "serve-bench":
+            server = _trace_serve_target(args)
+            kernel = server.kernel
+            nodes = [("node0", kernel.tracer, kernel.clock.now_ns)]
+            events = list(server.events)
+            series = kernel.series
+        else:
+            server = _report_cluster_target(args)
+            cluster = server.cluster
+            nodes = [
+                (f"node{node.index}", node.kernel.tracer,
+                 node.kernel.clock.now_ns)
+                for node in cluster.nodes
+            ]
+            events = [
+                event
+                for node_server in server.servers.values()
+                for event in node_server.events
+            ]
+            from repro.obs.timeseries import TimeSeriesRegistry
+
+            series = TimeSeriesRegistry.merged(
+                node.kernel.series for node in cluster.nodes
+            )
+        extra = {"chaos": _report_chaos_extra(args)}
+        mode = "chaos"
+    elif (args.target.isdigit()
+          or args.target in ("drone", "drone-tracker")):
+        kernel = _trace_app_target(args)
+        nodes = [("node0", kernel.tracer, kernel.clock.now_ns)]
+        events = []
+        series = kernel.series
+        mode = "app"
+    else:
+        raise CliUsageError(
+            f"unknown report target {args.target!r} (expected a sample "
+            "id, 'drone', 'serve-bench', 'cluster-bench', or 'chaos')"
+        )
+
+    report = build_report(
+        args.target, mode, nodes=nodes, events=events, series=series,
+        extra=extra,
+    )
+    payload = render_report_json(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote report JSON to {args.out}")
+    if args.md:
+        with open(args.md, "w", encoding="utf-8") as handle:
+            handle.write(render_report_markdown(report))
+        print(f"wrote report markdown to {args.md}")
+    if not args.out and not args.md:
+        print(payload, end="")
+    alert_count = report["slo"]["alert_count"]
+    if args.fail_on_alerts and alert_count > 0:
+        print(
+            f"repro report: {alert_count} burn-rate alert(s) fired",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -641,6 +856,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--image-size", type=int, default=16)
 
     p = sub.add_parser(
+        "report",
+        help="unified run report: SLO verdicts, burn-rate alerts, "
+             "critical path, verified rollup, top-k slowest",
+    )
+    p.add_argument("target",
+                   help="sample id, 'drone', 'serve-bench', "
+                        "'cluster-bench', or 'chaos'")
+    p.add_argument("--out", help="write the report JSON artifact here")
+    p.add_argument("--md", help="write the markdown rendering here")
+    p.add_argument("--items", type=int, default=2)
+    p.add_argument("--image-size", type=int, default=16)
+    p.add_argument("--nodes", type=int, default=4,
+                   help="cluster width for 'cluster-bench' (default 4)")
+    p.add_argument("--seed", type=int, default=11,
+                   help="chaos sweep seed (default 11)")
+    p.add_argument("--campaign", type=int, default=5,
+                   help="faulted schedules in the chaos sweep (default 5)")
+    p.add_argument("--fault-rate", type=float, default=0.2,
+                   help="chaos per-decision fault probability "
+                        "(default 0.2 — high enough that some schedule "
+                        "exhausts its retries and trips a burn-rate "
+                        "alert)")
+    p.add_argument("--chaos-target",
+                   choices=["serve-bench", "cluster"],
+                   default="serve-bench",
+                   help="workload the 'chaos' report sweeps "
+                        "(default serve-bench)")
+    p.add_argument("--fail-on-alerts", action="store_true",
+                   help="exit 1 if any burn-rate alert fired on the "
+                        "report's top-level (clean) run")
+
+    p = sub.add_parser(
         "chaos",
         help="seeded fault-injection campaign + recovery invariant checks",
     )
@@ -690,7 +937,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--which",
                    choices=["table9", "serve", "ldc", "cluster",
-                            "staticcheck", "all"],
+                            "staticcheck", "obs_report", "all"],
                    default="all",
                    help="which bench payload(s) to measure (default all)")
     p.add_argument("--json", action="store_true",
@@ -738,6 +985,7 @@ _HANDLERS = {
     "studies": _cmd_studies,
     "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
+    "report": _cmd_report,
     "chaos": _cmd_chaos,
     "cluster-bench": _cmd_cluster_bench,
     "bench": _cmd_bench,

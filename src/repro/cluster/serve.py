@@ -60,6 +60,10 @@ class ClusterServer:
             )
             for node in self.cluster.nodes
         }
+        for index, server in self.servers.items():
+            # Request events from every node carry a stable node label so
+            # cluster-wide SLO evaluation can slice per node.
+            server.node_label = f"node{index}"
         self.manifest: Optional[ShardManifest] = None
         self.shard_assignment: Dict[int, int] = {}
         self._durable: Dict[str, Any] = {}

@@ -20,13 +20,17 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-from repro.obs.export import RollupRow, mechanism_rollup
+from repro.obs.export import NODE_PID_STRIDE, RollupRow, mechanism_rollup
 
 from repro.cluster.kernel import ClusterKernel
 
-#: Pid namespace stride: merged pid = node * stride + local pid.  Far
-#: above any simulated pid (they count up from 100 per node).
-NODE_PID_STRIDE = 1_000_000
+__all__ = [
+    "NODE_PID_STRIDE",
+    "cluster_pid",
+    "cluster_chrome_trace",
+    "render_cluster_trace",
+    "cluster_rollup",
+]
 
 
 def cluster_pid(node_index: int, pid: int) -> int:

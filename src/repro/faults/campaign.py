@@ -89,6 +89,11 @@ class RunOutcome:
     #: failed/degraded serve responses).  Missing outputs are only
     #: acceptable when the run accounted for the loss here or failed.
     losses_accounted: int = 0
+    #: Per-request :class:`~repro.obs.slo.RequestEvent`s (serving
+    #: targets only; empty elsewhere).  Sorted, so SLO evaluation over
+    #: them is deterministic.  NOT part of the digest — ScheduleResult
+    #: carries only aggregates.
+    request_events: Tuple = ()
 
 
 @dataclass
@@ -262,6 +267,7 @@ def _outcome(
     restarts: int = 0,
     retries: int = 0,
     losses_accounted: int = 0,
+    request_events: Tuple = (),
 ) -> RunOutcome:
     injected = injector.injected if injector is not None else []
     return RunOutcome(
@@ -281,6 +287,7 @@ def _outcome(
         restarts=kernel.restarted_processes,
         retries=retries,
         losses_accounted=losses_accounted,
+        request_events=request_events,
     )
 
 
@@ -398,6 +405,7 @@ def _run_serve(settings: ChaosSettings,
         stale_refs=len(stale),
         retries=sum(r.retries for r in responses),
         losses_accounted=len(failed),
+        request_events=tuple(sorted(server.events)),
     )
     server.shutdown()
     return outcome
@@ -497,6 +505,11 @@ def _run_cluster(settings: ChaosSettings,
         restarts=restarts,
         retries=sum(r.retries for r in responses),
         losses_accounted=len(failed),
+        request_events=tuple(sorted(
+            event
+            for node_server in server.servers.values()
+            for event in node_server.events
+        )),
     )
     server.shutdown()
     return outcome

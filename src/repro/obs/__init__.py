@@ -9,15 +9,39 @@ Table 9 rows) is unchanged from an untraced run.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    AlertEvent,
+    BurnWindow,
+    RequestEvent,
+    SLOResult,
+    SLOSpec,
+    evaluate_slos,
+)
+from repro.obs.timeseries import (
+    FixedGridSketch,
+    TimeSeries,
+    TimeSeriesRegistry,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanTracer
 
 __all__ = [
+    "AlertEvent",
+    "BurnWindow",
     "Counter",
+    "DEFAULT_SLOS",
+    "FixedGridSketch",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RequestEvent",
+    "SLOResult",
+    "SLOSpec",
     "Span",
     "SpanTracer",
+    "TimeSeries",
+    "TimeSeriesRegistry",
+    "evaluate_slos",
 ]

@@ -15,6 +15,7 @@ deterministic: the same run produces the same buckets on every machine.
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -95,12 +96,42 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def overflow(self) -> int:
+        """Observations above the top bound (they still move ``total``,
+        so a large overflow count means ``mean`` is dominated by values
+        the buckets cannot localize)."""
+        return self.bucket_counts[-1]
+
+    def quantile(self, fraction: float) -> Optional[int]:
+        """Bucket-upper-bound quantile: the smallest ``bounds[i]`` whose
+        cumulative count covers the ceil-rank observation.
+
+        The answer is an upper bound on the true quantile — exact only
+        when every observation in the bucket sits on the bound.  Returns
+        ``None`` when the sketch is empty or the rank lands in the
+        overflow bucket (there is no finite bound to report; check
+        :attr:`overflow` before trusting upper percentiles).
+        """
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(fraction * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index >= len(self.bounds):
+                    return None
+                return self.bounds[index]
+        return None
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "count": self.count,
             "total": self.total,
             "bounds": list(self.bounds),
             "bucket_counts": list(self.bucket_counts),
+            "overflow": self.overflow,
         }
 
 

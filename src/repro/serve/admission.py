@@ -50,12 +50,16 @@ class AdmissionQueue:
         clock: VirtualClock,
         capacity: int = 64,
         per_tenant_limit: Optional[int] = None,
+        series=None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
         self.clock = clock
         self.capacity = capacity
         self.per_tenant_limit = per_tenant_limit
+        #: Optional :class:`~repro.obs.timeseries.TimeSeriesRegistry`;
+        #: when set, every admission records the post-admit queue depth.
+        self.series = series
         self.stats = AdmissionStats()
         # tenant id -> that tenant's FIFO; OrderedDict preserves the
         # round-robin rotation order deterministically.
@@ -91,6 +95,13 @@ class AdmissionQueue:
         tenant_queue.append(request)
         self._pending += 1
         self.stats.admitted += 1
+        if self.series is not None:
+            self.series.observe(
+                "admission.queue_depth",
+                {"tenant": request.tenant_id},
+                self._pending,
+                t_ns=self.clock.now_ns,
+            )
 
     # ------------------------------------------------------------------
     # Dequeue (fair-share dispatch)

@@ -195,6 +195,12 @@ class PoolSet:
                 if slot_hint is not None:
                     pool._next = slot_hint
                 leased[index] = pool.lease(tenant_id)
+                self.kernel.series.observe(
+                    "pool.lease",
+                    {"agent_pool": pool.partition.label},
+                    1,
+                    t_ns=self.kernel.clock.now_ns,
+                )
         except AgentUnavailable:
             for index, member in leased.items():
                 self.pools[index].restore(member)

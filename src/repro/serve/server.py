@@ -36,6 +36,7 @@ from repro.errors import (
 )
 from repro.frameworks.base import FrameworkAPI
 from repro.frameworks.registry import get_api
+from repro.obs.slo import RequestEvent
 from repro.serve.admission import AdmissionQueue
 from repro.serve.batching import BatchingStats
 from repro.serve.breaker import CircuitBreaker
@@ -133,8 +134,16 @@ class PipelineServer:
             self.kernel.clock,
             capacity=queue_capacity,
             per_tenant_limit=per_tenant_limit,
+            series=self.kernel.series,
         )
         self.registry = TenantRegistry()
+        #: The ``node`` label stamped on this server's request events
+        #: and time-series points; the cluster front door sets it to the
+        #: owning node's name, single-machine servers leave it empty.
+        self.node_label = ""
+        #: Per-request SLO facts (one per finished dispatch), the input
+        #: stream for ``repro.obs.slo`` evaluation and run reports.
+        self.events: List[RequestEvent] = []
         self.batch_stats = BatchingStats()
         self.timeline = ServingTimeline(
             lanes=pool_size, registry=self.kernel.metrics
@@ -420,6 +429,23 @@ class PipelineServer:
             request.request_id, request.tenant_id,
             arrival_ns=request.enqueued_at_ns, service_ns=service_ns,
         )
+        self.events.append(RequestEvent(
+            at_ns=timing.finish_ns,
+            node=self.node_label,
+            tenant=request.tenant_id,
+            latency_ns=timing.latency_ns,
+            ok=ok,
+        ))
+        labels = {"tenant": request.tenant_id}
+        if self.node_label:
+            labels["node"] = self.node_label
+        self.kernel.series.observe(
+            "serve.latency_ns", labels, timing.latency_ns,
+            t_ns=timing.finish_ns,
+        )
+        self.kernel.series.observe(
+            "serve.service_ns", labels, service_ns, t_ns=timing.finish_ns,
+        )
         return ServeResponse(
             request_id=request.request_id,
             tenant_id=request.tenant_id,
@@ -499,6 +525,8 @@ class NaiveServer:
         self.timeline = ServingTimeline(
             lanes=1, registry=self.kernel.metrics
         )
+        self.node_label = ""
+        self.events: List[RequestEvent] = []
         self._request_ids = itertools.count(1)
 
     def submit(
@@ -557,6 +585,13 @@ class NaiveServer:
             request.request_id, request.tenant_id,
             arrival_ns=request.enqueued_at_ns, service_ns=service_ns,
         )
+        self.events.append(RequestEvent(
+            at_ns=timing.finish_ns,
+            node=self.node_label,
+            tenant=request.tenant_id,
+            latency_ns=timing.latency_ns,
+            ok=ok,
+        ))
         return ServeResponse(
             request_id=request.request_id,
             tenant_id=request.tenant_id,

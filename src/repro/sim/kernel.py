@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional
 from repro.errors import ProcessNotFound
 from repro.faults.injector import NULL_INJECTOR
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import CostModel, VirtualClock
 from repro.sim.devices import DeviceBoard
@@ -59,6 +60,9 @@ class SimKernel:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Machine-wide metrics registry (repro.obs.metrics).
         self.metrics = MetricsRegistry()
+        #: Dimensional time-series registry (repro.obs.timeseries):
+        #: windowed, labeled observations stamped from this clock.
+        self.series = TimeSeriesRegistry(self.clock)
         #: Fault injector (repro.faults).  The no-op default costs hot
         #: paths a single ``enabled`` check; ``inject_faults`` arms one.
         self.faults = NULL_INJECTOR

@@ -1,0 +1,55 @@
+"""Chaos schedules feed the SLO engine: faults become burn-rate alerts."""
+
+from repro.faults.campaign import ChaosSettings, run_target
+from repro.faults.plan import FaultPlan, FaultRates
+from repro.obs.slo import evaluate_slos
+
+
+def test_clean_serve_run_produces_events_but_no_alerts():
+    settings = ChaosSettings(target="serve-bench", seed=0, campaign=1)
+    outcome = run_target("serve-bench", settings, plan=None)
+    assert outcome.ok
+    assert len(outcome.request_events) == 4
+    assert all(event.ok for event in outcome.request_events)
+    for result in evaluate_slos(outcome.request_events):
+        assert result.alerts == []
+
+
+def test_some_faulted_schedule_trips_a_burn_rate_alert():
+    """At the bench's fixed sweep (seed 11, rate 0.2) some schedule must
+    exhaust its retries, fail a request, and trip the fast burn window —
+    the chaos-to-alert pipeline end to end."""
+    settings = ChaosSettings(
+        target="serve-bench", seed=11, campaign=5, fault_rate=0.2
+    )
+    rates = FaultRates.scaled(settings.fault_rate)
+    alerting = 0
+    for index in range(settings.campaign):
+        plan = FaultPlan(settings.schedule_seed(index), rates)
+        outcome = run_target("serve-bench", settings, plan)
+        results = evaluate_slos(outcome.request_events)
+        fired = sum(len(result.alerts) for result in results)
+        errors = sum(
+            1 for event in outcome.request_events if not event.ok
+        )
+        if errors:
+            # Any failed request concentrates enough burn in its 1 ms
+            # cell to cross the fast threshold (error budget 0.001).
+            assert fired > 0
+        if fired:
+            alerting += 1
+    assert alerting >= 1
+
+
+def test_cluster_outcome_labels_events_by_node():
+    settings = ChaosSettings(
+        target="cluster", seed=0, campaign=1, nodes=2
+    )
+    outcome = run_target("cluster", settings, plan=None)
+    assert outcome.ok
+    assert outcome.request_events
+    nodes = {event.node for event in outcome.request_events}
+    assert nodes <= {"node0", "node1"}
+    assert len(nodes) == 2
+    # Sorted tuple: deterministic SLO evaluation input.
+    assert list(outcome.request_events) == sorted(outcome.request_events)

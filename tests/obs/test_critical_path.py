@@ -1,0 +1,141 @@
+"""Critical-path extraction and the attribution/rollup reconciliation."""
+
+import pytest
+
+from repro.errors import AccountingError
+from repro.obs.critical_path import (
+    accountable_spans,
+    extract_critical_path,
+    mechanism_attribution,
+    reconcile_attribution,
+)
+from repro.obs.export import mechanism_rollup
+from repro.obs.tracer import Span
+
+
+class StubTracer:
+    """A tracer double serving a hand-built span forest."""
+
+    def __init__(self, spans):
+        self._spans = list(spans)
+
+    def closed_spans(self):
+        return list(self._spans)
+
+
+def _span(span_id, category, start_ns, end_ns, parent_id=None, depth=0,
+          kind="span", out_of_band=False):
+    return Span(
+        span_id=span_id, name=f"s{span_id}", category=category,
+        start_ns=start_ns, end_ns=end_ns, pid=100, parent_id=parent_id,
+        depth=depth, kind=kind, out_of_band=out_of_band,
+    )
+
+
+def _tree_tracer():
+    # root [0, 100) with children a [0, 60) and b [60, 90);
+    # a has one child a1 [10, 30).
+    return StubTracer([
+        _span(1, "compute", 0, 100),
+        _span(2, "rpc", 0, 60, parent_id=1, depth=1),
+        _span(3, "copy", 60, 90, parent_id=1, depth=1),
+        _span(4, "syscall", 10, 30, parent_id=2, depth=2),
+    ])
+
+
+def test_accountable_spans_filter_matches_rollup():
+    tracer = StubTracer([
+        _span(1, "compute", 0, 100),
+        _span(2, "rpc", 0, 0, kind="instant"),
+        _span(3, "copy", 0, 50, out_of_band=True),
+    ])
+    accountable = accountable_spans(tracer)
+    assert [span.span_id for span in accountable] == [1]
+    rows = mechanism_rollup(tracer, 100)
+    assert [(row.category, row.self_ns) for row in rows] == \
+        [("compute", 100), ("untraced", 0)]
+
+
+def test_path_descends_heaviest_child_and_partitions_root():
+    path = extract_critical_path(_tree_tracer())
+    assert [step.span_id for step in path.steps] == [1, 2, 4]
+    assert [step.exclusive_ns for step in path.steps] == [40, 40, 20]
+    # Path exclusives partition the root's duration exactly.
+    assert sum(step.exclusive_ns for step in path.steps) == 100
+    assert path.total_ns == 100
+    assert path.by_category == {"compute": 40, "rpc": 40, "syscall": 20}
+
+
+def test_equal_duration_siblings_tie_break_on_span_id():
+    tracer = StubTracer([
+        _span(1, "compute", 0, 100),
+        _span(3, "rpc", 50, 90, parent_id=1, depth=1),
+        _span(2, "copy", 0, 40, parent_id=1, depth=1),
+    ])
+    path = extract_critical_path(tracer)
+    # Both children last 40 ns; the smaller span id (2, the copy) wins.
+    assert [step.span_id for step in path.steps] == [1, 2]
+
+
+def test_attribution_agrees_with_rollup_on_hand_built_tree():
+    tracer = _tree_tracer()
+    attribution = mechanism_attribution(tracer)
+    assert attribution == {
+        "compute": (1, 10),   # 100 - 60 - 30
+        "rpc": (1, 40),       # 60 - 20
+        "copy": (1, 30),
+        "syscall": (1, 20),
+    }
+    rows = reconcile_attribution(tracer, 120)
+    assert rows[-1].category == "untraced"
+    assert rows[-1].self_ns == 20
+    assert sum(row.self_ns for row in rows) == 120
+
+
+def test_reconcile_raises_naming_the_orphan_subtree():
+    # A span parented to an instant: the flat rollup pass counts it, the
+    # root-reachable attribution walk never visits it — the books must
+    # not balance, and the error must name the off-by row.
+    tracer = StubTracer([
+        _span(1, "compute", 0, 100),
+        _span(2, "pool", 0, 0, kind="instant"),
+        _span(3, "rpc", 10, 50, parent_id=2, depth=1),
+    ])
+    with pytest.raises(AccountingError) as excinfo:
+        reconcile_attribution(tracer, 100)
+    assert "rpc" in str(excinfo.value)
+
+
+def test_traced_drone_reconciles_exactly(traced_drone):
+    kernel, _ = traced_drone
+    total_ns = kernel.clock.now_ns
+    rows = reconcile_attribution(kernel.tracer, total_ns)
+    assert rows[-1].category == "untraced"
+    # The verified rows partition the run's virtual time to the ns.
+    assert sum(row.self_ns for row in rows) == total_ns
+    path = extract_critical_path(kernel.tracer)
+    untraced = rows[-1].self_ns
+    assert path.total_ns == total_ns - untraced
+    assert sum(path.by_category.values()) == path.total_ns
+
+
+@pytest.mark.parametrize("sample_id", [1, 8, 16])
+def test_catalog_apps_reconcile_exactly(sample_id):
+    from repro.apps.base import Workload, execute_app
+    from repro.apps.suite import make_app
+    from repro.attacks.scenarios import build_gateway
+    from repro.core.runtime import FreePartConfig
+    from repro.sim.kernel import SimKernel
+
+    app = make_app(sample_id)
+    kernel = SimKernel()
+    kernel.enable_tracing()
+    config = FreePartConfig(
+        trace=True, annotations=tuple(app.annotations)
+    )
+    gateway = build_gateway("freepart", kernel, app=app, config=config)
+    report = execute_app(app, gateway, Workload(items=1, image_size=16))
+    assert not report.failed
+    total_ns = kernel.clock.now_ns
+    rows = reconcile_attribution(kernel.tracer, total_ns)
+    assert sum(row.self_ns for row in rows) == total_ns

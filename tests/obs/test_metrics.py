@@ -103,3 +103,45 @@ def test_kernel_owns_a_registry_shared_by_its_gateways(traced_drone):
     assert any(
         name.startswith("gateway.calls.") for name in snap["counters"]
     )
+
+
+# ----------------------------------------------------------------------
+# Histogram quantiles (bucket-upper-bound semantics, pinned)
+# ----------------------------------------------------------------------
+
+
+def test_histogram_quantile_reports_bucket_upper_bounds():
+    histogram = Histogram("lat", bounds=(1_000, 4_000, 16_000))
+    for value in (500, 1_500, 2_000, 10_000):
+        histogram.observe(value)
+    # ceil-rank: p25 -> 1st observation (500, bucket bound 1000); p50 ->
+    # 2nd (1500 <= 4000); p99 -> 4th (10000 <= 16000).  Always the
+    # bucket's upper bound, never an interpolation.
+    assert histogram.quantile(0.25) == 1_000
+    assert histogram.quantile(0.50) == 4_000
+    assert histogram.quantile(0.99) == 16_000
+
+
+def test_histogram_quantile_on_exact_bound_stays_in_bucket():
+    histogram = Histogram("lat", bounds=(1_000, 4_000))
+    histogram.observe(1_000)
+    assert histogram.quantile(0.5) == 1_000
+
+
+def test_histogram_quantile_empty_and_overflow_return_none():
+    histogram = Histogram("lat", bounds=(1_000, 4_000))
+    assert histogram.quantile(0.5) is None
+    histogram.observe(1_000_000)  # above the top bound
+    assert histogram.overflow == 1
+    # The rank lands in the overflow bucket: no finite bound to report.
+    assert histogram.quantile(0.99) is None
+
+
+def test_histogram_snapshot_pins_the_overflow_count():
+    histogram = Histogram("lat", bounds=(1_000,))
+    histogram.observe(500)
+    histogram.observe(2_000)
+    snap = histogram.snapshot()
+    assert snap["overflow"] == 1
+    assert snap["overflow"] == snap["bucket_counts"][-1]
+    assert snap["count"] == 2

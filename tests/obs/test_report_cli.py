@@ -1,0 +1,54 @@
+"""The ``repro report`` subcommand: artifact determinism and verdicts."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import REPORT_SCHEMA
+
+
+def test_report_drone_prints_valid_json(capsys):
+    assert main(["report", "drone"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == REPORT_SCHEMA
+    assert payload["mode"] == "app"
+    assert payload["rollup"][-1]["category"] == "untraced"
+    # Apps have no request stream; the SLO section is vacuous but present.
+    assert payload["slo"]["requests"] == 0
+
+
+def test_report_serve_bench_is_byte_identical(tmp_path, capsys):
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    assert main(["report", "serve-bench", "--out", str(first),
+                 "--fail-on-alerts"]) == 0
+    assert main(["report", "serve-bench", "--out", str(second),
+                 "--fail-on-alerts"]) == 0
+    capsys.readouterr()
+    assert first.read_bytes() == second.read_bytes()
+    payload = json.loads(first.read_text())
+    assert payload["slo"]["alert_count"] == 0
+    assert payload["slo"]["requests"] == 4
+    assert payload["top_slowest"]["tenants"]
+
+
+def test_report_cluster_bench_covers_every_node(tmp_path, capsys):
+    out = tmp_path / "cluster.json"
+    markdown = tmp_path / "cluster.md"
+    assert main(["report", "cluster-bench", "--nodes", "2",
+                 "--out", str(out), "--md", str(markdown),
+                 "--fail-on-alerts"]) == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    labels = [node["label"] for node in payload["critical_path"]["nodes"]]
+    assert labels == ["node0", "node1"]
+    assert payload["slo"]["alert_count"] == 0
+    text = markdown.read_text()
+    assert text.startswith("# Run report — cluster-bench (cluster)")
+    assert "## Slowest nodes" in text
+
+
+def test_report_rejects_unknown_target(capsys):
+    assert main(["report", "warp-drive"]) == 2
+    assert "unknown report target" in capsys.readouterr().err

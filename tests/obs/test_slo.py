@@ -1,0 +1,156 @@
+"""SLO burn-rate math: thresholds, window fixtures, and properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    FAST_WINDOW,
+    SLOW_WINDOW,
+    RequestEvent,
+    SLOSpec,
+    evaluate_slos,
+)
+from repro.sim.clock import NS_PER_SEC
+
+AVAILABILITY = SLOSpec("availability", "availability", objective=0.999)
+
+
+def _ok(at_ns, latency_ns=1_000):
+    return RequestEvent(at_ns=at_ns, latency_ns=latency_ns, ok=True)
+
+
+def _err(at_ns, latency_ns=1_000):
+    return RequestEvent(at_ns=at_ns, latency_ns=latency_ns, ok=False)
+
+
+def test_default_burn_thresholds():
+    # threshold = budget_share * period / window: the SRE-workbook pair
+    # scaled to virtual milliseconds.
+    assert FAST_WINDOW.burn_threshold(NS_PER_SEC) == 50.0
+    assert SLOW_WINDOW.burn_threshold(NS_PER_SEC) == 1.0
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        SLOSpec("x", "throughput", objective=0.9)
+    with pytest.raises(ValueError):
+        SLOSpec("x", "availability", objective=1.0)
+    with pytest.raises(ValueError):
+        SLOSpec("x", "latency", objective=0.9)  # threshold_ns missing
+
+
+def test_clean_stream_fires_zero_alerts():
+    events = [_ok(index * 100_000) for index in range(50)]
+    for result in evaluate_slos(events, DEFAULT_SLOS):
+        assert result.met
+        assert result.alerts == []
+        assert all(not cell.alert for cell in result.timeline)
+
+
+def test_empty_stream_is_vacuously_met():
+    for result in evaluate_slos([], DEFAULT_SLOS):
+        assert result.met
+        assert result.achieved == 1.0
+        assert result.alerts == []
+
+
+def test_concentrated_errors_fire_fast_and_slow_windows():
+    # One failed request among four in a single 1 ms cell: error rate
+    # 0.25, burn 250 against budget 0.001 — over the fast threshold (50)
+    # and the slow threshold (1).
+    events = [_ok(0), _ok(100), _ok(200), _err(300)]
+    (result,) = evaluate_slos(events, [AVAILABILITY])
+    assert not result.met
+    assert [alert.window for alert in result.alerts] == ["fast", "slow"]
+    fast = result.alerts[0]
+    assert fast.start_ns == 0 and fast.end_ns == 1_000_000
+    assert fast.errors == 1 and fast.requests == 4
+    assert fast.burn_rate == pytest.approx(250.0)
+    assert fast.threshold == pytest.approx(50.0)
+
+
+def test_shallow_burn_fires_only_the_slow_window():
+    # Objective 0.9 (budget 0.1): the fast threshold is burn >= 50,
+    # unreachable since error_rate <= 1 caps burn at 10 — only the slow
+    # window (threshold 1) can see a shallow sustained burn.
+    spec = SLOSpec("avail-90", "availability", objective=0.9)
+    events = [_err(i * 10_000) if i < 2 else _ok(i * 10_000)
+              for i in range(10)]
+    (result,) = evaluate_slos(events, [spec])
+    assert [alert.window for alert in result.alerts] == ["slow"]
+    assert result.alerts[0].burn_rate == pytest.approx(2.0)
+
+
+def test_latency_kind_judges_latency_alone():
+    spec = SLOSpec("lat", "latency", objective=0.99, threshold_ns=1_000)
+    fast_but_failed = RequestEvent(at_ns=0, latency_ns=500, ok=False)
+    slow_but_ok = RequestEvent(at_ns=1, latency_ns=5_000, ok=True)
+    assert spec.is_good(fast_but_failed)
+    assert not spec.is_good(slow_but_ok)
+
+
+def test_goodput_kind_requires_both():
+    spec = SLOSpec("good", "goodput", objective=0.99, threshold_ns=1_000)
+    assert spec.is_good(RequestEvent(at_ns=0, latency_ns=500, ok=True))
+    assert not spec.is_good(RequestEvent(at_ns=0, latency_ns=500, ok=False))
+    assert not spec.is_good(RequestEvent(at_ns=0, latency_ns=5_000, ok=True))
+
+
+def test_evaluation_is_input_order_independent():
+    events = [_err(i * 250_000) if i % 3 == 0 else _ok(i * 250_000)
+              for i in range(12)]
+    shuffled = list(events)
+    random.Random(7).shuffle(shuffled)
+    expected = [r.to_dict() for r in evaluate_slos(events, [AVAILABILITY])]
+    got = [r.to_dict() for r in evaluate_slos(shuffled, [AVAILABILITY])]
+    assert got == expected
+
+
+EVENT_STREAMS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50_000_000),  # at_ns
+        st.booleans(),                                   # ok
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(EVENT_STREAMS)
+def test_evaluation_is_deterministic(stream):
+    events = [RequestEvent(at_ns=at, ok=ok) for at, ok in stream]
+    first = [r.to_dict() for r in evaluate_slos(events, [AVAILABILITY])]
+    second = [r.to_dict() for r in evaluate_slos(events, [AVAILABILITY])]
+    assert first == second
+
+
+@settings(max_examples=60, deadline=None)
+@given(EVENT_STREAMS, st.data())
+def test_alerting_is_monotone_in_error_rate(stream, data):
+    """Flipping any successful request to a failure never clears alerts.
+
+    Burn rate per cell is errors/requests/budget — strictly increasing
+    in the error count — so the set of firing cells only grows.
+    """
+    events = [RequestEvent(at_ns=at, ok=ok) for at, ok in stream]
+    ok_indices = [i for i, event in enumerate(events) if event.ok]
+    if not ok_indices:
+        return
+    flip = data.draw(st.sampled_from(ok_indices))
+    worse = list(events)
+    worse[flip] = RequestEvent(
+        at_ns=events[flip].at_ns,
+        node=events[flip].node,
+        tenant=events[flip].tenant,
+        latency_ns=events[flip].latency_ns,
+        ok=False,
+    )
+    (before,) = evaluate_slos(events, [AVAILABILITY])
+    (after,) = evaluate_slos(worse, [AVAILABILITY])
+    assert len(after.alerts) >= len(before.alerts)
+    before_cells = {(a.window, a.start_ns) for a in before.alerts}
+    after_cells = {(a.window, a.start_ns) for a in after.alerts}
+    assert before_cells <= after_cells
