@@ -1,0 +1,103 @@
+"""Open-loop traffic realism — load profiles, autoscaling, brownout.
+
+Not a paper table: this bench measures the PR 10 traffic layer.  Each
+named profile (diurnal / burst / flash) is thinned from a seeded rate
+curve into a digestable arrival schedule and replayed open-loop against
+a fixed 2-lane pool and against the same server with the burn-rate
+autoscaler and brownout controller armed.  Acceptance bars, verbatim
+from the issue:
+
+* burst + 1 % faults: elastic goodput >= 1.5x fixed at the same p99
+  budget;
+* clean diurnal day: zero SLO alerts, zero sheds, with both
+  controllers armed.
+
+All numbers come from the deterministic virtual clock and the
+earliest-free-lane latency replay; pytest-benchmark's wall time tracks
+the harness only.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.tables import render_table
+from repro.serve.loadbench import (
+    BUDGET_NS,
+    canonical_schedule,
+    run_loadgen_benchmark,
+    run_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_loadgen_benchmark()
+
+
+def test_loadgen_profile_table(benchmark, result):
+    benchmark.pedantic(
+        run_profile, kwargs=dict(name="flash", elastic=True),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [
+            name,
+            f"{run['offered']}",
+            f"{run['goodput']:.3f}",
+            f"{run['p99_latency_ms']:.2f}",
+            f"{run['shed']}",
+            f"{run.get('scale_ups', '-')}",
+            f"{run['slo_alerts']}",
+        ]
+        for name, run in result["runs"].items()
+    ]
+    emit(render_table(
+        f"Open-loop load profiles — goodput at "
+        f"{BUDGET_NS / 1e6:.0f} ms budget",
+        ["run", "offered", "goodput", "p99 ms", "shed", "ups", "alerts"],
+        rows,
+        note=f"burst runs inject {result['fault_rate']:.0%} faults; "
+             f"retention {result['burst_goodput_retention']:.2f}x",
+    ))
+    emit(json.dumps(
+        {k: v for k, v in result.items() if k != "runs"}, indent=2
+    ))
+
+
+def test_burst_elastic_retains_1_5x_goodput(result):
+    """The PR's acceptance criterion, verbatim."""
+    assert result["burst_goodput_retention"] >= 1.5, result
+
+
+def test_clean_diurnal_fires_nothing(result):
+    """The other acceptance criterion: a clean day stays silent."""
+    diurnal = result["runs"]["diurnal_elastic"]
+    assert diurnal["slo_alerts"] == 0
+    assert diurnal["shed"] == 0
+    assert diurnal["scale_ups"] == 0
+    assert diurnal["goodput"] == 1.0
+
+
+def test_brownout_sheds_lowest_priority_first(result):
+    """Gold is sacred; bronze pays for the storm before silver."""
+    sheds = result["runs"]["burst_elastic"]["sheds_by_priority"]
+    assert "gold" not in sheds
+    if sheds:
+        assert sheds.get("bronze", 0) >= sheds.get("silver", 0)
+
+
+def test_schedules_are_seed_deterministic():
+    first = canonical_schedule("burst")
+    second = canonical_schedule("burst")
+    assert first.digest() == second.digest()
+    assert canonical_schedule("burst", seed=7).digest() != first.digest()
+
+
+def test_elastic_pool_returns_toward_baseline(result):
+    """Scale-downs fire in the calm tail; the pool does not stay pinned
+    at max forever."""
+    burst = result["runs"]["burst_elastic"]
+    assert burst["scale_ups"] >= 1
+    assert burst["pool_size"] < 8

@@ -31,7 +31,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 SCHEMA = "freepart-bench/v1"
 BENCH_NAMES = (
-    "table9", "serve", "ldc", "cluster", "staticcheck", "obs_report"
+    "table9", "serve", "ldc", "cluster", "staticcheck", "obs_report",
+    "loadgen",
 )
 DEFAULT_TOLERANCE = 0.05
 
@@ -426,6 +427,65 @@ def bench_obs_report() -> Dict[str, Any]:
     }
 
 
+def bench_loadgen() -> Dict[str, Any]:
+    """Open-loop traffic realism: fixed pool vs autoscaled + brownout.
+
+    ``burst_goodput_retention`` gates with direction ``higher``: under
+    the burst profile with 1 % faults, the elastic server must keep
+    answering at least 1.5x the fixed pool's goodput at the same p99
+    budget.  ``diurnal_clean_alerts`` and ``diurnal_clean_sheds`` gate
+    at 0 with direction ``lower``: a clean diurnal day with both
+    controllers armed must fire no burn-rate alert and shed nobody —
+    any creep trips the gate regardless of tolerance.
+    """
+    from repro.serve.loadbench import BUDGET_NS, run_loadgen_benchmark
+
+    comparison = run_loadgen_benchmark()
+    runs = comparison["runs"]
+    diurnal = runs["diurnal_elastic"]
+    return {
+        "schema": SCHEMA,
+        "bench": "loadgen",
+        "metrics": {
+            "burst_goodput_retention": _metric(
+                comparison["burst_goodput_retention"], "higher"
+            ),
+            "flash_goodput_retention": _metric(
+                comparison["flash_goodput_retention"], "higher"
+            ),
+            "burst_elastic_goodput": _metric(
+                runs["burst_elastic"]["goodput"], "higher"
+            ),
+            "burst_elastic_p99_ms": _metric(
+                runs["burst_elastic"]["p99_latency_ms"], "lower"
+            ),
+            "diurnal_clean_alerts": _metric(
+                diurnal["slo_alerts"], "lower"
+            ),
+            "diurnal_clean_sheds": _metric(diurnal["shed"], "lower"),
+        },
+        "details": {
+            "budget_ms": BUDGET_NS / 1e6,
+            "fault_rate": comparison["fault_rate"],
+            "burst_fixed_goodput": runs["burst_fixed"]["goodput"],
+            "burst_fixed_p99_ms": runs["burst_fixed"]["p99_latency_ms"],
+            "burst_scale_ups": runs["burst_elastic"]["scale_ups"],
+            "burst_sheds": runs["burst_elastic"]["shed"],
+            "burst_sheds_by_priority":
+                runs["burst_elastic"]["sheds_by_priority"],
+            "burst_final_pool": runs["burst_elastic"]["pool_size"],
+            "diurnal_goodput": diurnal["goodput"],
+            "diurnal_scale_ups": diurnal["scale_ups"],
+            "flash_elastic_goodput": runs["flash_elastic"]["goodput"],
+            "flash_scale_ups": runs["flash_elastic"]["scale_ups"],
+            "schedule_digests": {
+                name: run["schedule_digest"]
+                for name, run in sorted(runs.items())
+            },
+        },
+    }
+
+
 _BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "table9": bench_table9,
     "serve": bench_serve,
@@ -433,6 +493,7 @@ _BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "cluster": bench_cluster,
     "staticcheck": bench_staticcheck,
     "obs_report": bench_obs_report,
+    "loadgen": bench_loadgen,
 }
 
 

@@ -10,6 +10,7 @@
     python -m repro motivating --technique none  # Table 1 row
     python -m repro studies                      # Table 3 + Fig. 7
     python -m repro serve-bench --tenants 8      # serving throughput JSON
+    python -m repro loadgen --profile burst      # open-loop traffic replay
     python -m repro check examples/              # static partition linter
     python -m repro trace drone --out trace.json # Chrome-trace span export
     python -m repro chaos 8 --seed 11 --campaign 50   # fault injection
@@ -229,6 +230,107 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.tables import render_table
+    from repro.serve.loadbench import (
+        BUDGET_NS,
+        canonical_profile,
+        run_cluster_profile,
+        run_profile,
+    )
+    from repro.serve.loadgen import PROFILE_NAMES, generate_schedule
+
+    if args.profile not in PROFILE_NAMES:
+        raise CliUsageError(
+            f"unknown --profile {args.profile!r} "
+            f"(expected one of: {', '.join(PROFILE_NAMES)})"
+        )
+    for flag, value in (("--min-pool", args.min_pool),
+                        ("--max-pool", args.max_pool),
+                        ("--tenants", args.tenants),
+                        ("--nodes", args.nodes)):
+        if value < 1:
+            raise CliUsageError(f"{flag} must be >= 1, got {value}")
+    if args.max_pool < args.min_pool:
+        raise CliUsageError(
+            f"--max-pool ({args.max_pool}) must be >= --min-pool "
+            f"({args.min_pool})"
+        )
+    if args.fault_rate < 0:
+        raise CliUsageError(
+            f"--fault-rate must be >= 0, got {args.fault_rate}"
+        )
+    if args.base_rps <= 0:
+        raise CliUsageError(
+            f"--base-rps must be > 0, got {args.base_rps}"
+        )
+    if args.duration_ms <= 0:
+        raise CliUsageError(
+            f"--duration-ms must be > 0, got {args.duration_ms}"
+        )
+
+    profile = canonical_profile(
+        args.profile,
+        base_rps=args.base_rps,
+        duration_ns=int(args.duration_ms * 1e6),
+    )
+    schedule = generate_schedule(
+        profile, seed=args.seed,
+        tenants=args.tenants, zipf_alpha=args.zipf_alpha,
+    )
+    if args.schedule_only:
+        payload = {"params": profile.to_dict(), **schedule.to_dict()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.cluster:
+        result = run_cluster_profile(
+            args.profile, seed=args.seed, nodes=args.nodes,
+            elastic=not args.fixed, fault_rate=args.fault_rate,
+            schedule=schedule,
+            pool_size=args.min_pool, max_pool=args.max_pool,
+        )
+    else:
+        result = run_profile(
+            args.profile, seed=args.seed, elastic=not args.fixed,
+            fault_rate=args.fault_rate, schedule=schedule,
+            pool_size=args.min_pool, max_pool=args.max_pool,
+        )
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    rows = [[key, result[key]] for key in (
+        "offered", "admitted", "rejected", "shed",
+        "served_ok", "served_failed", "slo_alerts",
+    )]
+    rows.append(["goodput", f"{result['goodput']:.3f}"])
+    rows.append(["p99 ms", f"{result['p99_latency_ms']:.2f}"])
+    rows.append(["pool size", result.get(
+        "pool_size",
+        "/".join(str(n["pool_size"])
+                 for n in result.get("per_node", {}).values()),
+    )])
+    if not args.fixed:
+        rows.append(["scale ups", result.get("scale_ups", 0)])
+    if result["sheds_by_priority"]:
+        rows.append(["sheds", ", ".join(
+            f"{name}={count}"
+            for name, count in result["sheds_by_priority"].items()
+        )])
+    mode = "elastic" if not args.fixed else "fixed"
+    where = f"{args.nodes}-node cluster" if args.cluster else "1 node"
+    print(render_table(
+        f"Open-loop {args.profile} — {mode}, {where}, "
+        f"{BUDGET_NS / 1e6:.0f} ms budget",
+        ["fact", "value"],
+        rows,
+        note=f"schedule {result['schedule_digest'][:16]} "
+             f"seed={args.seed}",
+    ))
+    return 0
+
+
 def _trace_app_target(args: argparse.Namespace):
     """Run one application under FreePart with tracing on."""
     from repro.apps.base import Workload, execute_app
@@ -432,6 +534,38 @@ def _report_chaos_extra(args: argparse.Namespace):
     }
 
 
+def _overload_extra(servers):
+    """``(label, PipelineServer)`` pairs -> the report's overload facts.
+
+    Surfaces the serving layer's pressure counters — brownout sheds,
+    admission rejections, transient-ChannelFull backoff retries — and,
+    when the elastic controllers are armed, their end-of-run posture.
+    """
+    rows = []
+    for label, server in servers:
+        stats = server.stats()
+        admission = stats["admission"]
+        row = {
+            "node": label,
+            "pool_size": stats["pool_size"],
+            "shed": admission["shed"],
+            "rejected": (
+                admission["rejected_capacity"]
+                + admission["rejected_tenant_budget"]
+            ),
+            "timed_out": admission["timed_out"],
+            "send_backoff_retries": stats["send_backoff_retries"],
+            "degraded_responses": stats["degraded_responses"],
+        }
+        if server.autoscaler is not None:
+            row["scale_ups"] = server.autoscaler.scale_ups
+            row["scale_downs"] = server.autoscaler.scale_downs
+        if server.brownout is not None:
+            row["brownout_floor"] = server.brownout.floor
+        rows.append(row)
+    return {"nodes": rows}
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.report import (
         build_report,
@@ -457,6 +591,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         nodes = [("node0", kernel.tracer, kernel.clock.now_ns)]
         events = list(server.events)
         series = kernel.series
+        extra = {"overload": _overload_extra([("node0", server)])}
         mode = "serve"
     elif args.target == "cluster-bench":
         server = _report_cluster_target(args)
@@ -476,6 +611,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         series = TimeSeriesRegistry.merged(
             node.kernel.series for node in cluster.nodes
         )
+        extra = {"overload": _overload_extra(
+            (f"node{index}", node_server)
+            for index, node_server in sorted(server.servers.items())
+        )}
         mode = "cluster"
     elif args.target == "chaos":
         # Clean traced baseline of the chaos target for the report body;
@@ -486,6 +625,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             nodes = [("node0", kernel.tracer, kernel.clock.now_ns)]
             events = list(server.events)
             series = kernel.series
+            overload = _overload_extra([("node0", server)])
         else:
             server = _report_cluster_target(args)
             cluster = server.cluster
@@ -504,7 +644,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
             series = TimeSeriesRegistry.merged(
                 node.kernel.series for node in cluster.nodes
             )
-        extra = {"chaos": _report_chaos_extra(args)}
+            overload = _overload_extra(
+                (f"node{index}", node_server)
+                for index, node_server in sorted(server.servers.items())
+            )
+        extra = {
+            "chaos": _report_chaos_extra(args),
+            "overload": overload,
+        }
         mode = "chaos"
     elif (args.target.isdigit()
           or args.target in ("drone", "drone-tracker")):
@@ -561,6 +708,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
     if args.nodes < 1:
         raise CliUsageError(f"--nodes must be >= 1, got {args.nodes}")
+    if args.target == "loadgen":
+        from repro.serve.loadgen import PROFILE_NAMES
+
+        if args.profile not in PROFILE_NAMES:
+            raise CliUsageError(
+                f"unknown --profile {args.profile!r} "
+                f"(expected one of: {', '.join(PROFILE_NAMES)})"
+            )
     settings = ChaosSettings(
         target=args.target,
         seed=args.seed,
@@ -569,6 +724,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         items=args.items,
         image_size=args.image_size,
         nodes=args.nodes,
+        profile=args.profile,
     )
     try:
         report = run_campaign(settings)
@@ -842,6 +998,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--image-size", type=int, default=16)
 
     p = sub.add_parser(
+        "loadgen",
+        help="seeded open-loop traffic: replay a load profile against "
+             "a fixed or autoscaled server (or cluster)",
+    )
+    p.add_argument("--profile", default="burst",
+                   help="arrival profile: diurnal, burst, or flash "
+                        "(default burst)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="schedule seed (default 42)")
+    p.add_argument("--base-rps", type=float, default=300.0,
+                   help="baseline offered rate (default 300)")
+    p.add_argument("--duration-ms", type=float, default=200.0,
+                   help="schedule length in virtual ms (default 200)")
+    p.add_argument("--tenants", type=int, default=60,
+                   help="Zipf tenant population size (default 60)")
+    p.add_argument("--zipf-alpha", type=float, default=0.5,
+                   help="tenant popularity skew (default 0.5)")
+    p.add_argument("--fixed", action="store_true",
+                   help="disable the autoscaler and brownout controller "
+                        "(static --min-pool lanes)")
+    p.add_argument("--min-pool", type=int, default=2,
+                   help="starting/minimum agents per API type (default 2)")
+    p.add_argument("--max-pool", type=int, default=8,
+                   help="autoscaler ceiling (default 8)")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="per-decision fault probability (default 0)")
+    p.add_argument("--cluster", action="store_true",
+                   help="replay against a multi-node cluster (tenants "
+                        "hash across nodes; per-node autoscalers)")
+    p.add_argument("--nodes", type=int, default=3,
+                   help="cluster width with --cluster (default 3)")
+    p.add_argument("--schedule-only", action="store_true",
+                   help="print the schedule digest and counts without "
+                        "replaying it")
+    p.add_argument("--json", action="store_true",
+                   help="print the run facts as JSON")
+
+    p = sub.add_parser(
         "trace",
         help="span-trace one run; export Chrome trace JSON / rollup",
     )
@@ -892,8 +1086,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded fault-injection campaign + recovery invariant checks",
     )
     p.add_argument("target",
-                   help="sample id, 'drone', 'serve-bench', 'cluster', or "
-                        "a CVE id")
+                   help="sample id, 'drone', 'serve-bench', 'loadgen', "
+                        "'cluster', or a CVE id")
     p.add_argument("--seed", type=int, default=0,
                    help="campaign seed (default 0)")
     p.add_argument("--campaign", type=int, default=20,
@@ -905,6 +1099,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=3,
                    help="cluster width for the 'cluster' target "
                         "(default 3; other targets ignore it)")
+    p.add_argument("--profile", default="burst",
+                   help="load profile for the 'loadgen' target "
+                        "(default burst; other targets ignore it)")
     p.add_argument("--json", action="store_true",
                    help="print the full campaign report as JSON")
 
@@ -937,7 +1134,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--which",
                    choices=["table9", "serve", "ldc", "cluster",
-                            "staticcheck", "obs_report", "all"],
+                            "staticcheck", "obs_report", "loadgen",
+                            "all"],
                    default="all",
                    help="which bench payload(s) to measure (default all)")
     p.add_argument("--json", action="store_true",
@@ -984,6 +1182,7 @@ _HANDLERS = {
     "motivating": _cmd_motivating,
     "studies": _cmd_studies,
     "serve-bench": _cmd_serve_bench,
+    "loadgen": _cmd_loadgen,
     "trace": _cmd_trace,
     "report": _cmd_report,
     "chaos": _cmd_chaos,

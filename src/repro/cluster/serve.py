@@ -137,11 +137,12 @@ class ClusterServer:
         tenant_id: str,
         calls: Sequence[ApiCall],
         deadline_ns: Optional[int] = None,
+        priority: int = 0,
     ) -> ServeRequest:
         """Admit a request on the tenant's home node."""
         node_index = self.route(tenant_id)
         request = self.servers[node_index].submit(
-            tenant_id, calls, deadline_ns
+            tenant_id, calls, deadline_ns, priority=priority
         )
         self.submitted += 1
         return request
@@ -149,6 +150,27 @@ class ClusterServer:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+
+    def step(self) -> List[ServeResponse]:
+        """One round-robin pass: at most one dispatch per living node.
+
+        Consults the node-failure fault hook after every dispatch, like
+        :meth:`drain` always did; open-loop drivers call this between
+        arrival admissions so traffic and failures interleave.  Returns
+        the responses this pass produced (empty = every queue idle).
+        """
+        served: List[ServeResponse] = []
+        for node in self.cluster.nodes:
+            if not node.alive:
+                continue
+            response = self.servers[node.index].serve_one()
+            if response is not None:
+                served.append(response)
+            victim = self.cluster.maybe_fail_node()
+            if victim is not None:
+                self._handle_node_failure(victim)
+        self.responses.extend(served)
+        return served
 
     def drain(self) -> List[ServeResponse]:
         """Serve everything queued, interleaving nodes round-robin.
@@ -158,21 +180,14 @@ class ClusterServer:
         until every surviving queue is empty.
         """
         served: List[ServeResponse] = []
-        progress = True
-        while progress:
-            progress = False
-            for node in self.cluster.nodes:
-                if not node.alive:
-                    continue
-                response = self.servers[node.index].serve_one()
-                if response is not None:
-                    served.append(response)
-                    progress = True
-                victim = self.cluster.maybe_fail_node()
-                if victim is not None:
-                    self._handle_node_failure(victim)
-                    progress = True
-        self.responses.extend(served)
+        while True:
+            pass_served = self.step()
+            if not pass_served and not any(
+                self.servers[node.index].queue.pending
+                for node in self.cluster.nodes if node.alive
+            ):
+                break
+            served.extend(pass_served)
         return served
 
     def _handle_node_failure(self, victim: int) -> None:
@@ -198,7 +213,10 @@ class ClusterServer:
                 del self._tenant_node[tenant_id]
         for request in evicted:
             self.resubmissions += 1
-            self.submit(request.tenant_id, request.calls, request.deadline_ns)
+            self.submit(
+                request.tenant_id, request.calls, request.deadline_ns,
+                priority=request.priority,
+            )
 
     # ------------------------------------------------------------------
     # Reporting / teardown

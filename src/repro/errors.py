@@ -195,6 +195,16 @@ class AdmissionRejected(ServeError):
     """
 
 
+class BrownoutShed(AdmissionRejected):
+    """The brownout controller shed a low-priority request at admission.
+
+    Between "healthy" and "circuit-open" the server runs a degraded tier:
+    when the fast burn window trips, the lowest-priority tenant classes
+    are refused at the door (cheapest possible rejection — no queue slot,
+    no agent time) and re-admitted in priority order as burn subsides.
+    """
+
+
 class RequestTimeout(ServeError):
     """A queued request's virtual-clock deadline passed before dispatch."""
 

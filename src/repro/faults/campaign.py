@@ -62,6 +62,9 @@ class ChaosSettings:
     #: Cluster width for the ``cluster`` target (single-kernel targets
     #: ignore it; they have exactly one machine).
     nodes: int = 1
+    #: Load profile for the ``loadgen`` target (diurnal | burst |
+    #: flash); other targets ignore it.
+    profile: str = "burst"
 
     def schedule_seed(self, index: int) -> int:
         """The derived seed of schedule ``index``."""
@@ -94,6 +97,10 @@ class RunOutcome:
     #: them is deterministic.  NOT part of the digest — ScheduleResult
     #: carries only aggregates.
     request_events: Tuple = ()
+    #: Autoscaler decisions (``loadgen`` target only; 0 elsewhere).
+    scale_ups: int = 0
+    #: Brownout refusals (``loadgen`` target only; 0 elsewhere).
+    shed_requests: int = 0
 
 
 @dataclass
@@ -110,6 +117,8 @@ class ScheduleResult:
     invariants: Dict[str, bool]
     virtual_ns: int
     restarts: int
+    scale_ups: int = 0
+    shed_requests: int = 0
 
     @property
     def passed(self) -> bool:
@@ -130,6 +139,8 @@ class ScheduleResult:
             "passed": self.passed,
             "virtual_ns": self.virtual_ns,
             "restarts": self.restarts,
+            "scale_ups": self.scale_ups,
+            "shed_requests": self.shed_requests,
         }
 
 
@@ -163,6 +174,7 @@ class CampaignReport:
             "items": self.settings.items,
             "image_size": self.settings.image_size,
             "nodes": self.settings.nodes,
+            "profile": self.settings.profile,
             "baseline_outputs": dict(sorted(self.baseline_outputs.items())),
             "schedules": [s.to_dict() for s in self.schedules],
             "passed": self.passed,
@@ -411,6 +423,61 @@ def _run_serve(settings: ChaosSettings,
     return outcome
 
 
+def _run_loadgen(settings: ChaosSettings,
+                 plan: Optional[FaultPlan]) -> RunOutcome:
+    """One open-loop load-profile replay with the elastic controllers.
+
+    The canonical schedule of ``settings.profile`` (same for every
+    schedule in the campaign — only the fault plan varies) drives a
+    server with the autoscaler and brownout controller armed.  Brownout
+    sheds and failed responses are accounted losses: the chaos output
+    invariant tolerates their missing files, never different ones.
+    """
+    from repro.serve.loadbench import (
+        CONTROL_BUDGET_NS, canonical_schedule, elastic_config,
+    )
+    from repro.serve.autoscale import control_slo
+    from repro.serve.loadgen import run_open_loop
+    from repro.serve.server import PipelineServer
+
+    kernel, injector = _make_kernel(plan)
+    server = PipelineServer(
+        kernel=kernel,
+        config=_chaos_config(),
+        pool_size=2,
+        batching=True,
+        queue_capacity=512,
+        max_retries=CHAOS_RPC_RETRIES,
+    )
+    server.enable_autoscale(
+        elastic_config(), spec=control_slo(CONTROL_BUDGET_NS)
+    )
+    server.enable_brownout()
+    schedule = canonical_schedule(settings.profile, seed=settings.seed)
+    result = run_open_loop(server, schedule)
+    stale = server.registry.stale_keys(kernel.processes())
+    outcome = _outcome(
+        kernel, injector, plan,
+        ok=result.served_failed == 0,
+        failed_clean=result.served_failed > 0,
+        error=(
+            f"{result.served_failed} of {result.offered} requests failed"
+            if result.served_failed else ""
+        ),
+        outputs=fingerprint_outputs(kernel),
+        stale_refs=len(stale),
+        retries=sum(r.retries for r in server.responses),
+        losses_accounted=(
+            result.served_failed + result.shed + result.rejected
+        ),
+        request_events=tuple(sorted(server.events)),
+    )
+    outcome.scale_ups = server.autoscaler.scale_ups
+    outcome.shed_requests = result.shed
+    server.shutdown()
+    return outcome
+
+
 def _run_cluster(settings: ChaosSettings,
                  plan: Optional[FaultPlan]) -> RunOutcome:
     """One sharded multi-node serving workload under node failures.
@@ -520,6 +587,8 @@ def run_target(target: str, settings: ChaosSettings,
     """Dispatch one run of the campaign's target."""
     if target == "serve-bench":
         return _run_serve(settings, plan)
+    if target == "loadgen":
+        return _run_loadgen(settings, plan)
     if target == "cluster":
         return _run_cluster(settings, plan)
     if target.upper().startswith("CVE-"):
@@ -528,7 +597,7 @@ def run_target(target: str, settings: ChaosSettings,
         return _run_app(target, settings, plan)
     raise ValueError(
         f"unknown chaos target {target!r} (expected a sample id, 'drone', "
-        "'serve-bench', 'cluster', or a CVE id)"
+        "'serve-bench', 'loadgen', 'cluster', or a CVE id)"
     )
 
 
@@ -591,5 +660,7 @@ def run_campaign(settings: ChaosSettings) -> CampaignReport:
             invariants=check_invariants(baseline, faulted),
             virtual_ns=faulted.virtual_ns,
             restarts=faulted.restarts,
+            scale_ups=faulted.scale_ups,
+            shed_requests=faulted.shed_requests,
         ))
     return report

@@ -317,4 +317,30 @@ def render_report_markdown(report: Dict[str, Any]) -> str:
                 for row in rows
             ],
         ))
+    overload = report.get("extra", {}).get("overload")
+    if overload and overload.get("nodes"):
+        lines.extend(["", "## Overload & elasticity", ""])
+        lines.extend(_md_table(
+            ["node", "pool", "shed", "rejected", "timed out",
+             "backoff retries", "degraded", "scale ups", "scale downs",
+             "brownout floor"],
+            [
+                [
+                    row["node"], row["pool_size"], row["shed"],
+                    row["rejected"], row["timed_out"],
+                    row["send_backoff_retries"],
+                    row["degraded_responses"],
+                    row.get("scale_ups", "-"),
+                    row.get("scale_downs", "-"),
+                    row.get("brownout_floor", "-"),
+                ]
+                for row in overload["nodes"]
+            ],
+        ))
+        lines.append("")
+        lines.append(
+            "Sheds are brownout refusals (lowest priority first); "
+            "backoff retries are transient ChannelFull sends absorbed "
+            "by the gateway's exponential backoff."
+        )
     return "\n".join(lines) + "\n"

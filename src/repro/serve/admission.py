@@ -40,6 +40,10 @@ class AdmissionStats:
     timed_out: int = 0
     #: Requests pulled back out undispatched (node failure re-placement).
     evicted: int = 0
+    #: Requests refused at the door by the brownout controller (they
+    #: never held a queue slot; counted here because shedding is an
+    #: admission decision).
+    shed: int = 0
 
 
 class AdmissionQueue:

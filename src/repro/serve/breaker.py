@@ -25,6 +25,8 @@ from repro.sim.clock import VirtualClock
 DEFAULT_FAILURE_THRESHOLD = 3
 #: Virtual time an open breaker waits before probing (20 ms).
 DEFAULT_COOLDOWN_NS = 20_000_000
+#: Cap on the exponential reopen backoff (x8 the base cooldown).
+DEFAULT_BACKOFF_FACTOR = 8
 
 
 class BreakerState(str, enum.Enum):
@@ -49,12 +51,20 @@ class CircuitBreaker:
         self.clock = clock
         self.failure_threshold = failure_threshold
         self.cooldown_ns = cooldown_ns
+        #: Reopen backoff ceiling; a probe-failure streak doubles the
+        #: effective cooldown up to this.
+        self.max_cooldown_ns = cooldown_ns * DEFAULT_BACKOFF_FACTOR
+        #: The cooldown the *current* open period uses.  Starts at the
+        #: base on a fresh open, doubles on every failed probe (a
+        #: half-open reopen), and resets on the first success.
+        self.current_cooldown_ns = cooldown_ns
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.opened_at_ns = 0
         self._probe_inflight = False
         # Counters for reports.
         self.opened_count = 0
+        self.reopened_count = 0
         self.shed_requests = 0
         self.probes = 0
 
@@ -70,7 +80,7 @@ class CircuitBreaker:
             return True
         now = self.clock.now_ns
         if self.state is BreakerState.OPEN:
-            if now - self.opened_at_ns < self.cooldown_ns:
+            if now - self.opened_at_ns < self.current_cooldown_ns:
                 return False
             self.state = BreakerState.HALF_OPEN
             self._probe_inflight = False
@@ -88,13 +98,20 @@ class CircuitBreaker:
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self._probe_inflight = False
+        self.current_cooldown_ns = self.cooldown_ns
 
     def record_failure(self) -> None:
         self.consecutive_failures += 1
-        if (
-            self.state is BreakerState.HALF_OPEN
-            or self.consecutive_failures >= self.failure_threshold
-        ):
+        if self.state is BreakerState.HALF_OPEN:
+            # A failed probe: the partition is still sick, so the next
+            # open period waits exponentially longer before re-probing.
+            self.reopened_count += 1
+            self._open()
+            self.current_cooldown_ns = min(
+                self.current_cooldown_ns * 2, self.max_cooldown_ns
+            )
+        elif self.consecutive_failures >= self.failure_threshold:
+            self.current_cooldown_ns = self.cooldown_ns
             self._open()
 
     def record_shed(self) -> None:
@@ -111,6 +128,8 @@ class CircuitBreaker:
             "state": self.state.value,
             "consecutive_failures": self.consecutive_failures,
             "opened_count": self.opened_count,
+            "reopened_count": self.reopened_count,
             "shed_requests": self.shed_requests,
             "probes": self.probes,
+            "cooldown_ns": self.current_cooldown_ns,
         }

@@ -103,6 +103,25 @@ class ServingTimeline:
             self.registry.histogram("serve.service_ns").observe(service_ns)
         return timing
 
+    def set_lanes(self, lanes: int, at_ns: int = 0) -> None:
+        """Resize the replay to ``lanes`` parallel servers mid-stream.
+
+        The autoscaler's scale events map onto the timeline here: growing
+        adds lanes that become free at ``at_ns`` (the virtual time the new
+        agents finished spawning — capacity is not free), while shrinking
+        retires the *idlest* lanes (smallest free time) so work already
+        accepted on busy lanes keeps its backlog.  Deterministic either
+        way.
+        """
+        if lanes < 1:
+            raise ValueError(f"timeline needs >= 1 lane, got {lanes}")
+        if lanes > self.lanes:
+            self._lane_free_ns.extend([at_ns] * (lanes - self.lanes))
+        elif lanes < self.lanes:
+            self._lane_free_ns.sort()
+            self._lane_free_ns = self._lane_free_ns[-lanes:]
+        self.lanes = lanes
+
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------

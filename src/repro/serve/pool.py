@@ -165,7 +165,14 @@ class PoolSet:
             raise ValueError(f"pool size must be >= 1, got {size}")
         self.kernel = kernel
         self.plan = plan
+        self.categorization = categorization
+        self.config = config
         self.size = size
+        #: Member sets ever added after construction (autoscale grow);
+        #: the autoscaler's spawn budget is charged against this.
+        self.grown = 0
+        #: Member sets retired by shrink.
+        self.shrunk = 0
         columns: Dict[int, List[PoolMember]] = {
             partition.index: [] for partition in plan.partitions
         }
@@ -181,6 +188,65 @@ class PoolSet:
         self.pools: Dict[int, AgentPool] = {
             index: AgentPool(members) for index, members in columns.items()
         }
+
+    # ------------------------------------------------------------------
+    # Elastic capacity (autoscaling)
+    # ------------------------------------------------------------------
+
+    def grow(self, count: int) -> int:
+        """Spawn ``count`` additional member sets (one agent/partition).
+
+        Each added set pays the same spawn + filter-install virtual time
+        a pool slot costs at construction — scaling up is deliberately
+        not free, which is why the autoscaler needs cooldowns and a
+        budget.  Returns the new size.
+        """
+        if count < 0:
+            raise ValueError(f"grow count must be >= 0, got {count}")
+        for offset in range(count):
+            slot = self.size + offset
+            agents = build_agents(
+                self.kernel, self.plan, self.categorization, self.config,
+                name_suffix=f"pool{slot}",
+            )
+            for index, agent in agents.items():
+                self.pools[index].members.append(PoolMember(agent, slot))
+        self.size += count
+        self.grown += count
+        return self.size
+
+    def shrink(self, count: int) -> int:
+        """Retire up to ``count`` member sets, highest slots first.
+
+        Only whole unleased sets are removed (a leased member stops the
+        walk), and the pool never drops below one set.  Live slots stay
+        the contiguous range ``0..size-1``, so a later :meth:`grow`
+        numbers fresh slots without collision.  Returns the new size.
+        """
+        if count < 0:
+            raise ValueError(f"shrink count must be >= 0, got {count}")
+        target = max(1, self.size - count)
+        while self.size > target:
+            slot = self.size - 1
+            doomed = []
+            for pool in self.pools.values():
+                member = next(
+                    (m for m in pool.members if m.slot == slot), None
+                )
+                if member is None or member.leased:
+                    doomed = None
+                    break
+                doomed.append((pool, member))
+            if doomed is None:
+                break
+            for pool, member in doomed:
+                pool.members.remove(member)
+                member.agent.channel.close()
+                if member.agent.process.alive:
+                    member.agent.process.exit()
+            self.size -= 1
+            self.shrunk += 1
+        return self.size
 
     def lease_set(self, tenant_id: str, slot_hint: Optional[int] = None
                   ) -> Dict[int, PoolMember]:

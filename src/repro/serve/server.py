@@ -30,6 +30,7 @@ from repro.core.gateway import ApiCall
 from repro.core.runtime import FreePart, FreePartConfig
 from repro.errors import (
     AdmissionRejected,
+    BrownoutShed,
     FrameworkCrash,
     RequestTimeout,
     TenantIsolationError,
@@ -83,6 +84,9 @@ class ServeRequest:
     deadline_ns: Optional[int] = None
     enqueued_at_ns: int = 0
     timed_out: bool = False
+    #: Tenant class: 0 = gold, 1 = silver, 2 = bronze.  The brownout
+    #: controller sheds the highest numbers first.
+    priority: int = 0
 
 
 @dataclass
@@ -161,6 +165,16 @@ class PipelineServer:
             for partition in self.plan.partitions
         }
         self.degraded_responses = 0
+        #: Optional control loops, attached via :meth:`enable_autoscale`
+        #: / :meth:`enable_brownout` (None = the fixed-pool server every
+        #: earlier PR built).
+        self.autoscaler = None
+        self.brownout = None
+        #: Ordered scale decisions (mirrors ``autoscaler.events``).
+        self.scale_events: List = []
+        #: Transient-ChannelFull send retries absorbed across every
+        #: request's gateway (overload made visible, not silent).
+        self.send_backoff_retries = 0
 
     # ------------------------------------------------------------------
     # Tenants
@@ -186,18 +200,93 @@ class PipelineServer:
         tenant_id: str,
         calls: Sequence[ApiCall],
         deadline_ns: Optional[int] = None,
+        priority: int = 0,
     ) -> ServeRequest:
-        """Admit a request (raises AdmissionRejected on backpressure)."""
+        """Admit a request (raises AdmissionRejected on backpressure).
+
+        A brownout-shed request (``priority`` at or below the current
+        floor) raises :class:`BrownoutShed` *before* taking a queue
+        slot — the cheapest possible refusal.
+        """
+        if self.brownout is not None and self.brownout.sheds(priority):
+            self.brownout.record_shed(priority)
+            self.queue.stats.shed += 1
+            labels = {"tenant": tenant_id}
+            if self.node_label:
+                labels["node"] = self.node_label
+            self.kernel.series.observe(
+                "admission.shed", labels, 1,
+                t_ns=self.kernel.clock.now_ns,
+            )
+            raise BrownoutShed(
+                f"brownout floor {self.brownout.floor}: priority "
+                f"{priority} request from tenant {tenant_id!r} shed"
+            )
         tenant = self.register_tenant(tenant_id)
         request = ServeRequest(
             request_id=next(self._request_ids),
             tenant_id=tenant_id,
             calls=tuple(calls),
             deadline_ns=deadline_ns,
+            priority=priority,
         )
         self.queue.submit(request)  # stamps enqueued_at_ns
         tenant.requests_submitted += 1
         return request
+
+    # ------------------------------------------------------------------
+    # Elastic capacity
+    # ------------------------------------------------------------------
+
+    def enable_autoscale(self, config=None, spec=None):
+        """Attach a :class:`~repro.serve.autoscale.PoolAutoscaler`."""
+        from repro.serve.autoscale import PoolAutoscaler
+
+        self.autoscaler = PoolAutoscaler(self, config=config, spec=spec)
+        self.scale_events = self.autoscaler.events
+        return self.autoscaler
+
+    def enable_brownout(self, config=None, spec=None):
+        """Attach a :class:`~repro.serve.autoscale.BrownoutController`."""
+        from repro.serve.autoscale import BrownoutController
+
+        self.brownout = BrownoutController(config=config, spec=spec)
+        return self.brownout
+
+    def scale_to(
+        self, size: int, reason: str = "", at_ns: Optional[int] = None
+    ) -> int:
+        """Resize the agent pools (and the latency model's lanes).
+
+        Growing spawns fresh member sets — charging the virtual clock
+        their full spawn cost — and adds timeline lanes that become free
+        only at ``at_ns`` (the decision's own event time) *plus* that
+        measured spawn cost: new capacity arrives late, like real
+        capacity.  The decision time matters because the serial drive
+        clock and the lane-replay timeline are different timebases;
+        lanes must be stamped in timeline time or elastic capacity would
+        land long after the overload it was bought for.  Shrinking
+        retires idle member sets (never below one) and the idlest lanes.
+        Returns the size actually reached.
+        """
+        size = max(1, size)
+        before = self.pools.size
+        spawn_started_ns = self.kernel.clock.now_ns
+        if size > before:
+            self.pools.grow(size - before)
+        elif size < before:
+            self.pools.shrink(before - size)
+        actual = self.pools.size
+        if actual != before:
+            spawn_cost_ns = self.kernel.clock.now_ns - spawn_started_ns
+            decided_ns = at_ns if at_ns is not None else spawn_started_ns
+            lane_at_ns = decided_ns + spawn_cost_ns
+            self.timeline.set_lanes(actual, at_ns=lane_at_ns)
+            labels = {"node": self.node_label} if self.node_label else {}
+            self.kernel.series.observe(
+                "autoscale.pool_size", labels, actual, t_ns=lane_at_ns
+            )
+        return actual
 
     # ------------------------------------------------------------------
     # Dispatch loop
@@ -297,6 +386,7 @@ class PipelineServer:
                 # The pool repaired the agent in place (restart); retry
                 # the whole request — at-least-once, like the one-shot
                 # runtime's post-restart re-execution.
+                self.send_backoff_retries += gateway.send_backoff_retries
                 self.pools.restore_set(leased)
                 self._settle_breakers(
                     breaker_labels, crashed=gateway.last_crash_partition
@@ -310,6 +400,7 @@ class PipelineServer:
                     ok=False, error=f"{type(exc).__name__}: {exc}",
                 )
             except TenantIsolationError as exc:
+                self.send_backoff_retries += gateway.send_backoff_retries
                 self.pools.restore_set(leased)
                 self._settle_breakers(breaker_labels, crashed=None)
                 tenant.isolation_violations += 1
@@ -319,6 +410,7 @@ class PipelineServer:
                     ok=False, error=f"{type(exc).__name__}: {exc}",
                 )
             except Exception as exc:  # application-level failure
+                self.send_backoff_retries += gateway.send_backoff_retries
                 self.pools.restore_set(leased)
                 self._settle_breakers(breaker_labels, crashed=None)
                 tenant.requests_failed += 1
@@ -326,6 +418,7 @@ class PipelineServer:
                     request, started_ns, retries,
                     ok=False, error=f"{type(exc).__name__}: {exc}",
                 )
+            self.send_backoff_retries += gateway.send_backoff_retries
             self.pools.restore_set(leased)
             self._settle_breakers(breaker_labels, crashed=None)
             tenant.requests_completed += 1
@@ -429,13 +522,19 @@ class PipelineServer:
             request.request_id, request.tenant_id,
             arrival_ns=request.enqueued_at_ns, service_ns=service_ns,
         )
-        self.events.append(RequestEvent(
+        event = RequestEvent(
             at_ns=timing.finish_ns,
             node=self.node_label,
             tenant=request.tenant_id,
             latency_ns=timing.latency_ns,
             ok=ok,
-        ))
+        )
+        self.events.append(event)
+        # Close the control loops on the same stream the reports read.
+        if self.autoscaler is not None:
+            self.autoscaler.on_request(event)
+        if self.brownout is not None:
+            self.brownout.observe(event)
         labels = {"tenant": request.tenant_id}
         if self.node_label:
             labels["node"] = self.node_label
@@ -474,7 +573,9 @@ class PipelineServer:
                     self.queue.stats.rejected_tenant_budget,
                 "dispatched": self.queue.stats.dispatched,
                 "timed_out": self.queue.stats.timed_out,
+                "shed": self.queue.stats.shed,
             },
+            "send_backoff_retries": self.send_backoff_retries,
             "batching_stats": {
                 "calls": self.batch_stats.calls,
                 "batches": self.batch_stats.batches,
@@ -491,6 +592,10 @@ class PipelineServer:
                 for label, breaker in sorted(self.breakers.items())
             },
         })
+        if self.autoscaler is not None:
+            summary["autoscale"] = self.autoscaler.snapshot()
+        if self.brownout is not None:
+            summary["brownout"] = self.brownout.snapshot()
         return summary
 
     def shutdown(self) -> None:

@@ -134,3 +134,26 @@ def test_acceptance_sweep_three_apps_plus_serving():
         total_faults += report.faults_injected
     assert total_schedules == 200
     assert total_faults > 100  # the schedules genuinely inject faults
+
+
+def test_loadgen_target_chaos_campaign():
+    """The loadgen chaos target: open-loop burst traffic + faults, with
+    the elastic controllers armed.  Every invariant holds, the storm
+    forces at least one scale-up, and sheds/failures are accounted."""
+    settings = ChaosSettings(target="loadgen", seed=3, campaign=3,
+                             fault_rate=0.01, profile="burst")
+    report = run_campaign(settings)
+    assert report.passed, [
+        s.to_dict() for s in report.schedules if not s.passed
+    ]
+    assert any(s.scale_ups >= 1 for s in report.schedules)
+    payload = report.to_dict()
+    assert payload["profile"] == "burst"
+    for schedule in payload["schedules"]:
+        assert "scale_ups" in schedule and "shed_requests" in schedule
+
+
+def test_loadgen_target_is_deterministic():
+    settings = ChaosSettings(target="loadgen", seed=1, campaign=2,
+                             fault_rate=0.01, profile="flash")
+    assert run_campaign(settings).digest() == run_campaign(settings).digest()

@@ -1,0 +1,202 @@
+"""The SLO-burn-driven pool autoscaler and its incremental monitor."""
+
+import pytest
+
+from repro.obs.slo import FAST_WINDOW, RequestEvent
+from repro.serve.autoscale import (
+    AutoscaleConfig,
+    BurnMonitor,
+    PoolAutoscaler,
+    control_slo,
+)
+
+CELL_NS = FAST_WINDOW.window_ns
+BUDGET_NS = 2_000_000
+
+
+def good(at_ns):
+    return RequestEvent(at_ns=at_ns, latency_ns=BUDGET_NS // 2, ok=True)
+
+
+def bad(at_ns):
+    return RequestEvent(at_ns=at_ns, latency_ns=BUDGET_NS * 5, ok=True)
+
+
+class StubServer:
+    """Just enough server for the autoscaler: a pool size and scale_to."""
+
+    class _Pools:
+        def __init__(self, size):
+            self.size = size
+
+    def __init__(self, size=2):
+        self.pools = self._Pools(size)
+        self.calls = []
+
+    def scale_to(self, size, reason="", at_ns=None):
+        self.calls.append((size, at_ns))
+        self.pools.size = size
+        return size
+
+
+# ----------------------------------------------------------------------
+# BurnMonitor
+# ----------------------------------------------------------------------
+
+
+def test_monitor_verdicts_only_on_cell_boundaries():
+    monitor = BurnMonitor(control_slo(BUDGET_NS))
+    assert monitor.observe(bad(10)) is None
+    assert monitor.observe(bad(20)) is None  # same cell: no verdict yet
+    assert monitor.observe(good(CELL_NS + 1)) is True  # closed burning
+    assert monitor.observe(good(2 * CELL_NS + 1)) is False  # closed calm
+    assert monitor.cells_closed == 2
+    assert monitor.burning_cells == 1
+
+
+def test_monitor_all_good_cell_is_calm():
+    monitor = BurnMonitor(control_slo(BUDGET_NS))
+    for offset in range(5):
+        monitor.observe(good(offset * 100))
+    assert monitor.observe(good(CELL_NS + 1)) is False
+
+
+def test_monitor_folds_late_events_into_current_cell():
+    # An event landing in an already-closed cell must not crash or
+    # reopen history — it folds into the current cell (conservative).
+    monitor = BurnMonitor(control_slo(BUDGET_NS))
+    monitor.observe(good(CELL_NS * 3))
+    assert monitor.observe(bad(CELL_NS)) is None
+    assert monitor.cells_closed == 0
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kwargs,match", [
+    (dict(min_size=0), "min_size"),
+    (dict(min_size=4, max_size=2), "max_size"),
+    (dict(scale_up_step=0), "steps"),
+    (dict(scale_down_step=0), "steps"),
+    (dict(scale_budget=-1), "scale_budget"),
+])
+def test_config_validation(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        PoolAutoscaler(StubServer(), config=AutoscaleConfig(**kwargs))
+
+
+# ----------------------------------------------------------------------
+# Scaling decisions
+# ----------------------------------------------------------------------
+
+
+def _autoscaler(server, **overrides):
+    kwargs = dict(
+        min_size=2, max_size=8, scale_up_step=2, scale_down_step=1,
+        up_cooldown_ns=2 * CELL_NS, down_cooldown_ns=4 * CELL_NS,
+        calm_cells_for_down=3, scale_budget=16,
+    )
+    kwargs.update(overrides)
+    return PoolAutoscaler(
+        server, config=AutoscaleConfig(**kwargs),
+        spec=control_slo(BUDGET_NS),
+    )
+
+
+def drive(scaler, pattern):
+    """One event per cell ('b' burning / 'c' calm) plus a final closer.
+
+    Cell ``k``'s verdict is delivered by the event that opens cell
+    ``k + 1``, i.e. at ``(k + 1) * CELL_NS``.
+    """
+    for cell, verdict in enumerate(pattern):
+        event = bad if verdict == "b" else good
+        scaler.on_request(event(cell * CELL_NS))
+    scaler.on_request(good(len(pattern) * CELL_NS))
+
+
+def test_burning_cell_scales_up_by_step_at_event_time():
+    server = StubServer(size=2)
+    scaler = _autoscaler(server)
+    drive(scaler, "b")
+    assert server.pools.size == 4
+    assert scaler.scale_ups == 1
+    event = scaler.events[0]
+    assert event.direction == "up"
+    assert (event.from_size, event.to_size) == (2, 4)
+    # The decision is stamped from the event stream, not a wall clock.
+    assert event.at_ns == CELL_NS
+    assert server.calls == [(4, event.at_ns)]
+
+
+def test_up_cooldown_suppresses_consecutive_scale_ups():
+    server = StubServer(size=2)
+    scaler = _autoscaler(server, up_cooldown_ns=10 * CELL_NS,
+                         calm_cells_for_down=100)
+    # Cell 0 scales up (verdict at 1 ms); cell 1's burn at 2 ms is
+    # inside the cooldown; cell 11's burn at 12 ms is past it.
+    drive(scaler, "bb" + "c" * 9 + "b")
+    assert scaler.scale_ups == 2
+    assert [event.at_ns for event in scaler.events] == [
+        CELL_NS, 12 * CELL_NS,
+    ]
+
+
+def test_scale_up_respects_max_size_and_budget():
+    server = StubServer(size=2)
+    scaler = _autoscaler(server, max_size=5, scale_up_step=4,
+                         up_cooldown_ns=0)
+    drive(scaler, "bb")
+    assert server.pools.size == 5  # clamped to max_size, then no-op
+    assert scaler.scale_ups == 1
+
+    tight = StubServer(size=2)
+    scaler = _autoscaler(tight, scale_budget=1, up_cooldown_ns=0)
+    drive(scaler, "bb")
+    assert tight.pools.size == 3  # budget allowed one member set only
+    assert scaler.spawned == 1
+
+
+def test_scale_down_needs_a_calm_streak():
+    shallow = StubServer(size=6)
+    scaler = _autoscaler(shallow, calm_cells_for_down=3,
+                         down_cooldown_ns=0)
+    drive(scaler, "cc")
+    assert scaler.scale_downs == 0  # streak of 2 < 3
+    deep = StubServer(size=6)
+    scaler = _autoscaler(deep, calm_cells_for_down=3,
+                         down_cooldown_ns=0)
+    drive(scaler, "ccc")
+    assert scaler.scale_downs == 1
+    assert deep.pools.size == 5
+
+
+def test_burning_cell_resets_the_calm_streak():
+    server = StubServer(size=6)
+    scaler = _autoscaler(server, calm_cells_for_down=3,
+                         down_cooldown_ns=0)
+    drive(scaler, "ccbcc")  # the burn wipes the first two calm cells
+    assert scaler.scale_downs == 0
+    assert scaler.scale_ups == 1
+
+
+def test_scale_down_floors_at_min_size():
+    server = StubServer(size=2)
+    scaler = _autoscaler(server, min_size=2, calm_cells_for_down=1,
+                         down_cooldown_ns=0)
+    drive(scaler, "cccc")
+    assert server.pools.size == 2
+    assert scaler.scale_downs == 0
+
+
+def test_snapshot_reports_the_loop_state():
+    server = StubServer(size=2)
+    scaler = _autoscaler(server)
+    drive(scaler, "b")
+    snapshot = scaler.snapshot()
+    assert snapshot["scale_ups"] == 1
+    assert snapshot["final_pool_size"] == 4
+    assert snapshot["burning_cells"] == 1
+    assert snapshot["events"][0]["direction"] == "up"

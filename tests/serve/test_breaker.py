@@ -50,7 +50,7 @@ def test_cooldown_grants_exactly_one_probe(breaker, clock):
     assert breaker.allow()
 
 
-def test_failed_probe_reopens_for_another_cooldown(breaker, clock):
+def test_failed_probe_reopens_with_doubled_cooldown(breaker, clock):
     for _ in range(3):
         breaker.record_failure()
     clock.advance(1_000)
@@ -58,9 +58,43 @@ def test_failed_probe_reopens_for_another_cooldown(breaker, clock):
     breaker.record_failure()  # probe failed
     assert breaker.state is BreakerState.OPEN
     assert breaker.opened_count == 2
+    assert breaker.reopened_count == 1
+    assert not breaker.allow()
+    # A failed probe doubles the next cooldown: the base wait is no
+    # longer enough.
+    clock.advance(1_000)
     assert not breaker.allow()
     clock.advance(1_000)
     assert breaker.allow()
+
+
+def test_probe_success_resets_cooldown_backoff(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(1_000)
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed -> cooldown doubles to 2_000
+    clock.advance(2_000)
+    assert breaker.allow()
+    breaker.record_success()  # probe succeeded -> closed, backoff reset
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.current_cooldown_ns == breaker.cooldown_ns
+    for _ in range(3):
+        breaker.record_failure()
+    assert not breaker.allow()
+    clock.advance(1_000)  # base cooldown is enough again
+    assert breaker.allow()
+
+
+def test_cooldown_backoff_is_capped(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    for _ in range(6):  # keep failing every probe
+        clock.advance(breaker.max_cooldown_ns)
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.current_cooldown_ns == breaker.max_cooldown_ns
+    assert breaker.max_cooldown_ns == breaker.cooldown_ns * 8
 
 
 def test_release_probe_returns_the_slot(breaker, clock):

@@ -1,0 +1,184 @@
+"""Brownout: the degraded tier between healthy and circuit-open.
+
+The floor state machine (trip after consecutive burning cells, recover
+in priority order), the admission shed path, and how brownout relates
+to the circuit breakers: a shed is refused at the front door, so it
+never consumes a breaker probe or flips breaker state.
+"""
+
+import pytest
+
+from repro.errors import BrownoutShed
+from repro.obs.slo import FAST_WINDOW, RequestEvent
+from repro.serve.autoscale import (
+    BrownoutConfig,
+    BrownoutController,
+    control_slo,
+)
+from repro.serve.breaker import BreakerState
+from repro.serve.loadgen import BRONZE, GOLD, SILVER
+from repro.serve.server import PipelineServer
+from repro.sim.kernel import SimKernel
+
+CELL_NS = FAST_WINDOW.window_ns
+BUDGET_NS = 2_000_000
+
+
+def good(at_ns):
+    return RequestEvent(at_ns=at_ns, latency_ns=BUDGET_NS // 2, ok=True)
+
+
+def bad(at_ns):
+    return RequestEvent(at_ns=at_ns, latency_ns=BUDGET_NS * 5, ok=True)
+
+
+def _controller(**overrides):
+    kwargs = dict(classes=3, min_floor=1, trip_cells=2, recover_cells=2)
+    kwargs.update(overrides)
+    return BrownoutController(
+        config=BrownoutConfig(**kwargs), spec=control_slo(BUDGET_NS)
+    )
+
+
+def drive(controller, pattern, start_cell=0):
+    """One event per cell ('b' burning / 'c' calm) plus a final closer."""
+    for offset, verdict in enumerate(pattern):
+        event = bad if verdict == "b" else good
+        controller.observe(event((start_cell + offset) * CELL_NS))
+    controller.observe(good((start_cell + len(pattern)) * CELL_NS))
+
+
+# ----------------------------------------------------------------------
+# The floor state machine
+# ----------------------------------------------------------------------
+
+
+def test_floor_starts_open_and_sheds_nobody():
+    controller = _controller()
+    assert controller.floor == 3
+    for priority in (GOLD, SILVER, BRONZE):
+        assert not controller.sheds(priority)
+
+
+def test_one_burning_cell_does_not_trip():
+    controller = _controller(trip_cells=2)
+    drive(controller, "b")
+    assert controller.floor == 3
+    assert controller.events == []
+
+
+def test_consecutive_burning_cells_drop_the_floor():
+    controller = _controller(trip_cells=2)
+    drive(controller, "bb")
+    assert controller.floor == 2  # bronze shed first
+    assert controller.sheds(BRONZE)
+    assert not controller.sheds(SILVER)
+    assert controller.events[0].direction == "brownout"
+
+
+def test_calm_cell_resets_the_burn_streak():
+    controller = _controller(trip_cells=2)
+    drive(controller, "bcb")  # never two burning cells in a row
+    assert controller.floor == 3
+
+
+def test_floor_never_drops_below_min_floor():
+    controller = _controller(trip_cells=1)
+    drive(controller, "bbbbbb")
+    assert controller.floor == 1
+    assert controller.sheds(SILVER) and controller.sheds(BRONZE)
+    assert not controller.sheds(GOLD)  # gold is sacred
+
+
+def test_recovery_readmits_in_priority_order():
+    controller = _controller(trip_cells=1, recover_cells=2)
+    drive(controller, "bbbb")
+    assert controller.floor == 1
+    drive(controller, "cccc", start_cell=5)
+    transitions = [
+        (event.floor_before, event.floor_after)
+        for event in controller.events
+        if event.direction == "recover"
+    ]
+    # Silver (floor 1 -> 2) re-admits before bronze (2 -> 3).
+    assert transitions == [(1, 2), (2, 3)]
+    assert controller.floor == 3
+
+
+def test_recovery_needs_the_full_calm_streak():
+    controller = _controller(trip_cells=1, recover_cells=4)
+    drive(controller, "bb")
+    floor = controller.floor
+    drive(controller, "cc", start_cell=3)
+    assert controller.floor == floor  # 3 calm closes < 4
+
+
+@pytest.mark.parametrize("kwargs,match", [
+    (dict(classes=0), "class"),
+    (dict(min_floor=0), "min_floor"),
+    (dict(min_floor=4), "min_floor"),
+    (dict(trip_cells=0), "trip_cells"),
+    (dict(recover_cells=0), "trip_cells and recover_cells"),
+])
+def test_config_validation(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        BrownoutController(config=BrownoutConfig(**kwargs))
+
+
+# ----------------------------------------------------------------------
+# The shed path and the breakers
+# ----------------------------------------------------------------------
+
+
+def _server():
+    return PipelineServer(
+        kernel=SimKernel(), pool_size=2, batching=True,
+        queue_capacity=64,
+    )
+
+
+def test_shed_counts_land_in_server_stats():
+    server = _server()
+    server.enable_brownout()
+    server.brownout.floor = 1
+    for priority in (SILVER, BRONZE, BRONZE):
+        with pytest.raises(BrownoutShed):
+            server.submit("tenant-tail", [], priority=priority)
+    stats = server.stats()
+    assert stats["admission"]["shed"] == 3
+    assert stats["brownout"]["shed_requests"] == 3
+    assert stats["brownout"]["sheds_by_priority"] == {"1": 1, "2": 2}
+    server.shutdown()
+
+
+def test_shed_never_touches_a_breaker(image_pipeline, seed_inputs):
+    """A brownout refusal happens at the front door: breaker probes,
+    counters, and state are untouched, and admitted gold traffic still
+    flows through closed breakers."""
+    server = _server()
+    server.enable_brownout()
+    server.brownout.floor = 1
+    before = {
+        label: breaker.snapshot()
+        for label, breaker in server.breakers.items()
+    }
+    with pytest.raises(BrownoutShed):
+        server.submit("tenant-tail", [], priority=BRONZE)
+    after = {
+        label: breaker.snapshot()
+        for label, breaker in server.breakers.items()
+    }
+    assert after == before
+
+    paths = seed_inputs(server, tenants=1, requests=1)
+    server.submit(
+        "tenant-0", image_pipeline(paths[(0, 0)], "/out/t0/out-0.png"),
+        priority=GOLD,
+    )
+    responses = server.drain()
+    assert [response.ok for response in responses] == [True]
+    assert all(
+        breaker.state is BreakerState.CLOSED
+        for breaker in server.breakers.values()
+    )
+    server.shutdown()

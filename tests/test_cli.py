@@ -181,3 +181,76 @@ def test_unknown_cve_exits_two(capsys):
     captured = capsys.readouterr()
     assert code == 2
     assert "unknown CVE" in captured.err
+
+
+# ----------------------------------------------------------------------
+# loadgen
+# ----------------------------------------------------------------------
+
+
+def test_loadgen_schedule_only_emits_digest_and_counts(capsys):
+    code, out = run_cli(capsys, "loadgen", "--profile", "flash",
+                        "--schedule-only")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["profile"] == "flash"
+    assert len(payload["digest"]) == 64
+    assert payload["arrivals"] == sum(payload["by_priority"].values())
+    assert payload["params"]["name"] == "flash"
+
+
+def test_loadgen_schedule_only_is_seed_deterministic(capsys):
+    first = run_cli(capsys, "loadgen", "--schedule-only")
+    second = run_cli(capsys, "loadgen", "--schedule-only")
+    reseeded = run_cli(capsys, "loadgen", "--schedule-only",
+                       "--seed", "7")
+    assert first == second
+    assert json.loads(reseeded[1])["digest"] != \
+        json.loads(first[1])["digest"]
+
+
+def test_loadgen_small_replay_emits_json(capsys):
+    code, out = run_cli(capsys, "loadgen", "--profile", "diurnal",
+                        "--duration-ms", "30", "--base-rps", "200",
+                        "--tenants", "6", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["offered"] == payload["admitted"]
+    assert payload["served_failed"] == 0
+    assert payload["shed"] == 0
+
+
+def test_loadgen_unknown_profile_exits_two(capsys):
+    code = main(["loadgen", "--profile", "tsunami"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown --profile" in captured.err
+    assert "usage:" in captured.err
+
+
+def test_loadgen_negative_scale_bounds_exit_two(capsys):
+    code = main(["loadgen", "--min-pool", "-2"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--min-pool must be >= 1" in captured.err
+    assert "usage:" in captured.err
+
+    code = main(["loadgen", "--max-pool", "0"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--max-pool must be >= 1" in captured.err
+
+
+def test_loadgen_inverted_scale_bounds_exit_two(capsys):
+    code = main(["loadgen", "--min-pool", "4", "--max-pool", "2"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "must be >= --min-pool" in captured.err
+
+
+def test_chaos_loadgen_unknown_profile_exits_two(capsys):
+    code = main(["chaos", "loadgen", "--profile", "nope"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown --profile" in captured.err
+    assert "usage:" in captured.err
